@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the pipeline's hot components:
+// tokenizer, CTrie insert/scan, phrase embedding, agglomerative
+// clustering, attention pooling + classification, CRF Viterbi decode, and
+// a full MicroBert sentence encode.
+#include <benchmark/benchmark.h>
+
+#include "cluster/agglomerative.h"
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+#include "lm/micro_bert.h"
+#include "nn/crf.h"
+#include "text/tokenizer.h"
+#include "trie/candidate_trie.h"
+
+namespace {
+
+using namespace nerglob;
+
+const char kTweet[] =
+    "RT @GovAndyBeshear: #Coronavirus cases rising in Italy and the US, "
+    "stay home friends :( https://t.co/abc123";
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(kTweet));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_TrieInsert(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    trie::CandidateTrie trie;
+    for (int k = 0; k < 100; ++k) {
+      trie.Insert({"entity" + std::to_string(i++ % 1000), "suffix"});
+    }
+    benchmark::DoNotOptimize(trie.size());
+  }
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieScan(benchmark::State& state) {
+  trie::CandidateTrie trie;
+  for (int k = 0; k < static_cast<int>(state.range(0)); ++k) {
+    trie.Insert({"entity" + std::to_string(k)});
+  }
+  trie.Insert({"andy", "beshear"});
+  trie.Insert({"coronavirus"});
+  std::vector<std::string> sentence = {"rt",    "andy", "beshear", "says",
+                                       "coronavirus", "cases", "rising", "in",
+                                       "entity42",    "today"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.FindLongestMatches(sentence));
+  }
+}
+BENCHMARK(BM_TrieScan)->Arg(100)->Arg(10000);
+
+void BM_PhraseEmbed(benchmark::State& state) {
+  Rng rng(1);
+  core::PhraseEmbedder embedder(64, &rng);
+  Matrix tokens = Matrix::Randn(20, 64, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Embed(tokens, 3, 6));
+  }
+}
+BENCHMARK(BM_PhraseEmbed);
+
+void BM_AgglomerativeCluster(benchmark::State& state) {
+  Rng rng(2);
+  Matrix embs = Matrix::Randn(state.range(0), 64, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::AgglomerativeClusterCosine(embs, 0.8f));
+  }
+}
+BENCHMARK(BM_AgglomerativeCluster)->Arg(16)->Arg(64);
+
+void BM_PoolAndClassify(benchmark::State& state) {
+  Rng rng(3);
+  core::EntityClassifier classifier(64, 48, &rng);
+  Matrix members = Matrix::Randn(state.range(0), 64, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Predict(members));
+  }
+}
+BENCHMARK(BM_PoolAndClassify)->Arg(4)->Arg(64);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  Rng rng(4);
+  nn::LinearChainCrf crf(text::kNumBioLabels, &rng);
+  Matrix emissions = Matrix::Randn(24, text::kNumBioLabels, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Decode(emissions));
+  }
+}
+BENCHMARK(BM_CrfViterbi);
+
+void BM_MicroBertEncode(benchmark::State& state) {
+  lm::MicroBertConfig config;
+  lm::MicroBert model(config, 5);
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(kTweet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Encode(tokens));
+  }
+}
+BENCHMARK(BM_MicroBertEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Quickstart: build the full NER Globalizer system, run it on a simulated
+// Covid tweet stream (the paper's D2 setting), and compare Local NER vs
+// Global NER effectiveness.
+//
+// Usage: quickstart [scale]   (scale in (0,1], default from NERGLOB_SCALE)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using nerglob::core::PipelineStage;
+
+void PrintScores(const char* label, const nerglob::eval::NerScores& s) {
+  std::printf("%-28s  PER %.2f  LOC %.2f  ORG %.2f  MISC %.2f  |  macro-F1 %.2f\n",
+              label, s.per_type[0].f1, s.per_type[1].f1, s.per_type[2].f1,
+              s.per_type[3].f1, s.macro_f1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = nerglob::harness::DefaultScale();
+  if (argc > 1) scale = std::atof(argv[1]);
+
+  std::printf("== NER Globalizer quickstart (scale %.2f) ==\n", scale);
+  nerglob::harness::BuildOptions options;
+  options.scale = scale;
+  options.cache_dir = nerglob::harness::DefaultCacheDir();
+
+  nerglob::WallTimer build_timer;
+  auto system = nerglob::harness::BuildTrainedSystem(options);
+  std::printf("trained system in %.1fs (LM loss %.3f, embedder val loss %.4f, "
+              "classifier val macro-F1 %.1f%%, %zu D5 mentions)\n",
+              build_timer.ElapsedSeconds(), system.fine_tune_loss,
+              system.embedder_result.validation_loss,
+              100.0 * system.classifier_result.validation_macro_f1,
+              system.d5_mention_examples);
+
+  nerglob::WallTimer run_timer;
+  auto run = nerglob::harness::RunDataset(system, "D2", scale);
+  std::printf("processed %zu messages in %.1fs (local %.1fs, global %.1fs)\n",
+              run.messages.size(), run_timer.ElapsedSeconds(),
+              run.local_seconds, run.global_seconds);
+
+  PrintScores("Local NER (BERTweet role)",
+              run.stage_scores[static_cast<int>(PipelineStage::kLocalOnly)]);
+  PrintScores("+ mention extraction",
+              run.stage_scores[static_cast<int>(PipelineStage::kMentionExtraction)]);
+  PrintScores("+ local embeddings",
+              run.stage_scores[static_cast<int>(PipelineStage::kLocalEmbeddings)]);
+  PrintScores("Global NER (full system)",
+              run.stage_scores[static_cast<int>(PipelineStage::kFullGlobal)]);
+
+  const double local =
+      run.stage_scores[static_cast<int>(PipelineStage::kLocalOnly)].macro_f1;
+  const double global =
+      run.stage_scores[static_cast<int>(PipelineStage::kFullGlobal)].macro_f1;
+  if (local > 0) {
+    std::printf("macro-F1 gain from Global NER: %+.1f%%\n",
+                100.0 * (global - local) / local);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Deployment scenario from Sec. VI: "In real-world deployment, a topic
+// classifier could precede an NER tool launched for streams." A mixed
+// multi-topic firehose (the D4 setting) is routed by a trained topic
+// classifier into one NER Globalizer instance per topic, so each instance
+// sees a topically coherent stream — the condition collective processing
+// exploits. Compared against a single shared pipeline over the firehose.
+//
+// Usage: topic_routing [scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "data/topic_classifier.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace nerglob;
+  const double scale = argc > 1 ? std::atof(argv[1]) : harness::DefaultScale();
+  harness::BuildOptions options;
+  options.scale = scale;
+  options.cache_dir = harness::DefaultCacheDir();
+  auto system = harness::BuildTrainedSystem(options);
+
+  // Train the router on a held-out multi-topic sample.
+  data::StreamGenerator gen(&system.kb_eval);
+  auto router_spec = data::MakeDatasetSpec("D4", scale);
+  router_spec.seed = 999;  // disjoint sample for router training
+  auto router_train = gen.Generate(router_spec);
+  data::TopicClassifier router(4096, 32, options.seed);
+  router.Train(router_train, /*epochs=*/4, 5e-3f, options.seed + 1);
+  std::printf("router accuracy on its training stream: %.3f\n",
+              router.Evaluate(router_train));
+
+  // The firehose to annotate.
+  auto firehose = gen.Generate(data::MakeDatasetSpec("D4", scale));
+
+  // Route into per-topic pipelines.
+  core::NerGlobalizerConfig config;
+  config.cluster_threshold = system.cluster_threshold;
+  std::vector<core::NerGlobalizer> per_topic;
+  per_topic.reserve(data::kNumTopics);
+  for (int t = 0; t < data::kNumTopics; ++t) {
+    per_topic.emplace_back(system.model.get(), system.embedder.get(),
+                           system.classifier.get(), config);
+  }
+  std::vector<std::vector<stream::Message>> routed(data::kNumTopics);
+  for (const auto& msg : firehose) {
+    routed[static_cast<int>(router.Predict(msg))].push_back(msg);
+  }
+  for (int t = 0; t < data::kNumTopics; ++t) {
+    if (!routed[static_cast<size_t>(t)].empty()) {
+      per_topic[static_cast<size_t>(t)].ProcessAll(routed[static_cast<size_t>(t)], 256);
+    }
+    std::printf("topic %-14s: %zu messages routed\n",
+                data::TopicName(static_cast<data::Topic>(t)),
+                routed[static_cast<size_t>(t)].size());
+  }
+
+  // Collect routed predictions back into firehose order.
+  std::map<int64_t, std::vector<text::EntitySpan>> by_id;
+  for (int t = 0; t < data::kNumTopics; ++t) {
+    auto preds = per_topic[static_cast<size_t>(t)].Predictions();
+    const auto& ids = per_topic[static_cast<size_t>(t)].message_ids();
+    for (size_t i = 0; i < ids.size(); ++i) by_id[ids[i]] = preds[i];
+  }
+  std::vector<std::vector<text::EntitySpan>> routed_preds;
+  std::vector<std::vector<text::EntitySpan>> gold;
+  for (const auto& msg : firehose) {
+    routed_preds.push_back(by_id.count(msg.id) ? by_id[msg.id]
+                                               : std::vector<text::EntitySpan>{});
+    gold.push_back(msg.gold_spans);
+  }
+  auto routed_scores = eval::EvaluateNer(gold, routed_preds);
+
+  // Baseline: one shared pipeline over the whole firehose.
+  core::NerGlobalizer shared(system.model.get(), system.embedder.get(),
+                             system.classifier.get(), config);
+  shared.ProcessAll(firehose, 256);
+  auto shared_scores = eval::EvaluateNer(gold, shared.Predictions());
+
+  std::printf("\nmacro-F1 on the mixed firehose:\n");
+  std::printf("  one shared pipeline        %.3f\n", shared_scores.macro_f1);
+  std::printf("  topic-routed pipelines     %.3f\n", routed_scores.macro_f1);
+  std::printf("(routing keeps each CandidateBase topically pure; with a "
+              "shared candidate space\nthe two are close — the win grows "
+              "when topics share ambiguous surface forms)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "autograd/gradient_check.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nerglob::ag {
+
+float MaxGradientError(const std::function<Var()>& loss_fn, Var param,
+                       float epsilon) {
+  NERGLOB_CHECK(param.requires_grad());
+
+  // Analytic gradient.
+  param.ZeroGrad();
+  Var loss = loss_fn();
+  loss.Backward();
+  const Matrix analytic = param.grad();
+  NERGLOB_CHECK_EQ(analytic.size(), param.value().size())
+      << "parameter did not receive a gradient";
+
+  // Numeric gradient, one coordinate at a time.
+  float max_err = 0.0f;
+  Matrix& value = param.mutable_value();
+  for (size_t i = 0; i < value.size(); ++i) {
+    const float original = value.data()[i];
+    value.data()[i] = original + epsilon;
+    const float plus = loss_fn().value().At(0, 0);
+    value.data()[i] = original - epsilon;
+    const float minus = loss_fn().value().At(0, 0);
+    value.data()[i] = original;
+    const float numeric = (plus - minus) / (2.0f * epsilon);
+    max_err = std::max(max_err, std::fabs(numeric - analytic.data()[i]));
+  }
+  return max_err;
+}
+
+}  // namespace nerglob::ag

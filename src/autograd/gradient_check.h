@@ -1,0 +1,21 @@
+#ifndef NERGLOB_AUTOGRAD_GRADIENT_CHECK_H_
+#define NERGLOB_AUTOGRAD_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace nerglob::ag {
+
+/// Compares the analytic gradient of `loss_fn` w.r.t. `param` against a
+/// central finite difference. `loss_fn` must rebuild the graph from the
+/// current parameter values and return a scalar Var.
+///
+/// Returns the maximum absolute elementwise difference between the analytic
+/// and numeric gradients. Used by the autograd and nn unit tests.
+float MaxGradientError(const std::function<Var()>& loss_fn, Var param,
+                       float epsilon = 1e-3f);
+
+}  // namespace nerglob::ag
+
+#endif  // NERGLOB_AUTOGRAD_GRADIENT_CHECK_H_

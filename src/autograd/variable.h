@@ -1,0 +1,102 @@
+#ifndef NERGLOB_AUTOGRAD_VARIABLE_H_
+#define NERGLOB_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace nerglob::ag {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A node in the dynamically-built computation graph. Users never touch
+/// Node directly; they hold Var handles.
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad), order_(next_order_++) {}
+
+  Matrix value_;
+  /// Gradient of the final scalar loss w.r.t. this node; lazily allocated.
+  Matrix grad_;
+  bool requires_grad_;
+  /// Creation order; Backward() processes nodes in decreasing order, which
+  /// is a valid reverse-topological order for a tape built forward.
+  uint64_t order_;
+  std::vector<NodePtr> parents_;
+  /// Propagates grad_ into parents_ (accumulating). Empty for leaves.
+  std::function<void(Node&)> backward_fn_;
+
+  void EnsureGrad() {
+    if (grad_.rows() != value_.rows() || grad_.cols() != value_.cols()) {
+      grad_ = Matrix(value_.rows(), value_.cols());
+    }
+  }
+
+ private:
+  static uint64_t next_order_;
+};
+
+/// A handle to a value in the autograd graph. Cheap to copy (shared_ptr).
+///
+/// Typical use:
+///   Var w(Matrix::Randn(4, 4, 0.1f, &rng), /*requires_grad=*/true);
+///   Var y = MatMul(x, w);
+///   Var loss = MeanAll(y);
+///   loss.Backward();
+///   // w.grad() now holds dloss/dw.
+class Var {
+ public:
+  /// An empty (null) variable.
+  Var() = default;
+
+  /// Wraps a value as a graph leaf.
+  explicit Var(Matrix value, bool requires_grad = false)
+      : node_(std::make_shared<Node>(std::move(value), requires_grad)) {}
+
+  /// Internal: wraps an existing node (used by ops).
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Matrix& value() const { return node_->value_; }
+  /// Mutable access to the underlying value; used by optimizers to update
+  /// leaf parameters in place.
+  Matrix& mutable_value() { return node_->value_; }
+
+  /// Accumulated gradient; zero-shaped until Backward touches this node.
+  const Matrix& grad() const { return node_->grad_; }
+
+  /// Mutable gradient access (e.g. for gradient clipping).
+  Matrix& mutable_grad() { return node_->grad_; }
+
+  bool requires_grad() const { return node_->requires_grad_; }
+
+  size_t rows() const { return node_->value_.rows(); }
+  size_t cols() const { return node_->value_.cols(); }
+
+  /// Runs reverse-mode accumulation from this (scalar, 1x1) variable.
+  /// Gradients accumulate into every reachable node with requires_grad.
+  void Backward() const;
+
+  /// Clears this node's gradient (optimizers call this per parameter).
+  void ZeroGrad() const;
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+/// Creates a non-differentiable constant.
+Var Constant(Matrix value);
+
+/// Creates a 1x1 constant.
+Var Scalar(float value);
+
+}  // namespace nerglob::ag
+
+#endif  // NERGLOB_AUTOGRAD_VARIABLE_H_

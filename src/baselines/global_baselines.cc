@@ -1,0 +1,269 @@
+#include "baselines/global_baselines.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+
+namespace nerglob::baselines {
+
+namespace {
+
+/// Argmax labels from a logits matrix.
+std::vector<int> ArgmaxLabels(const Matrix& logits) {
+  std::vector<int> labels(logits.rows());
+  for (size_t t = 0; t < logits.rows(); ++t) {
+    const float* row = logits.Row(t);
+    int best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    labels[t] = best;
+  }
+  return labels;
+}
+
+}  // namespace
+
+AkbikPooledNer::AkbikPooledNer(const lm::MicroBert* encoder, uint64_t seed,
+                               MemoryPooling pooling)
+    : encoder_(encoder), pooling_(pooling) {
+  NERGLOB_CHECK(encoder != nullptr);
+  Rng rng(seed);
+  head_ = std::make_unique<nn::Linear>(
+      2 * encoder->config().d_model, static_cast<size_t>(text::kNumBioLabels),
+      &rng);
+}
+
+Matrix AkbikPooledNer::UpdateAndPool(const std::string& word,
+                                     const Matrix& local) {
+  MemoryCell& cell = memory_[word];
+  if (cell.count == 0) {
+    cell.sum = Matrix(1, local.cols());
+    cell.extreme = local;
+  }
+  cell.sum.AddInPlace(local);
+  for (size_t c = 0; c < local.cols(); ++c) {
+    if (pooling_ == MemoryPooling::kMin) {
+      cell.extreme.At(0, c) = std::min(cell.extreme.At(0, c), local.At(0, c));
+    } else if (pooling_ == MemoryPooling::kMax) {
+      cell.extreme.At(0, c) = std::max(cell.extreme.At(0, c), local.At(0, c));
+    }
+  }
+  ++cell.count;
+  if (pooling_ != MemoryPooling::kMean) return cell.extreme;
+  Matrix avg = cell.sum;
+  avg.Scale(1.0f / static_cast<float>(cell.count));
+  return avg;
+}
+
+double AkbikPooledNer::Train(const std::vector<lm::LabeledSentence>& train,
+                             int epochs, float lr, uint64_t seed) {
+  nn::Adam optimizer(head_->Parameters(), lr);
+  Rng rng(seed);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    ResetMemory();  // memory rebuilds over each training pass
+    double epoch_loss = 0.0;
+    size_t count = 0;
+    for (const auto& ex : train) {
+      if (ex.tokens.empty()) continue;
+      const lm::EncodeResult enc = encoder_->Encode(ex.tokens);
+      const size_t t_len = enc.embeddings.rows();
+      Matrix features(t_len, 2 * enc.embeddings.cols());
+      for (size_t t = 0; t < t_len; ++t) {
+        Matrix local = enc.embeddings.SliceRows(t, 1);
+        Matrix pooled = UpdateAndPool(ex.tokens[t].match, local);
+        std::copy(local.Row(0), local.Row(0) + local.cols(), features.Row(t));
+        std::copy(pooled.Row(0), pooled.Row(0) + pooled.cols(),
+                  features.Row(t) + local.cols());
+      }
+      std::vector<int> bio = ex.bio;
+      bio.resize(t_len);
+      optimizer.ZeroGrad();
+      ag::Var loss = ag::CrossEntropyWithLogits(
+          head_->Forward(ag::Constant(std::move(features))), bio);
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.value().At(0, 0);
+      ++count;
+    }
+    last_loss = count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
+    (void)rng;
+  }
+  return last_loss;
+}
+
+std::vector<std::vector<text::EntitySpan>> AkbikPooledNer::Predict(
+    const std::vector<stream::Message>& messages) {
+  ResetMemory();  // test-time memory comes from the test stream itself
+  std::vector<std::vector<text::EntitySpan>> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) {
+    if (msg.tokens.empty()) {
+      out.emplace_back();
+      continue;
+    }
+    const lm::EncodeResult enc = encoder_->Encode(msg.tokens);
+    const size_t t_len = enc.embeddings.rows();
+    Matrix features(t_len, 2 * enc.embeddings.cols());
+    for (size_t t = 0; t < t_len; ++t) {
+      Matrix local = enc.embeddings.SliceRows(t, 1);
+      Matrix pooled = UpdateAndPool(msg.tokens[t].match, local);
+      std::copy(local.Row(0), local.Row(0) + local.cols(), features.Row(t));
+      std::copy(pooled.Row(0), pooled.Row(0) + pooled.cols(),
+                features.Row(t) + local.cols());
+    }
+    const Matrix logits = head_->Forward(ag::Constant(std::move(features))).value();
+    out.push_back(text::DecodeBio(ArgmaxLabels(logits)));
+  }
+  return out;
+}
+
+HireNer::HireNer(const lm::MicroBert* encoder, uint64_t seed)
+    : encoder_(encoder) {
+  NERGLOB_CHECK(encoder != nullptr);
+  Rng rng(seed);
+  head_ = std::make_unique<nn::Linear>(
+      3 * encoder->config().d_model, static_cast<size_t>(text::kNumBioLabels),
+      &rng);
+}
+
+Matrix HireNer::UpdateAndPool(const std::string& word, const Matrix& local) {
+  MemoryCell& cell = memory_[word];
+  if (cell.count == 0) cell.sum = Matrix(1, local.cols());
+  cell.sum.AddInPlace(local);
+  ++cell.count;
+  Matrix avg = cell.sum;
+  avg.Scale(1.0f / static_cast<float>(cell.count));
+  return avg;
+}
+
+double HireNer::Train(const std::vector<lm::LabeledSentence>& train,
+                      int epochs, float lr, uint64_t seed) {
+  nn::Adam optimizer(head_->Parameters(), lr);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    memory_.clear();
+    double epoch_loss = 0.0;
+    size_t count = 0;
+    for (const auto& ex : train) {
+      if (ex.tokens.empty()) continue;
+      const lm::EncodeResult enc = encoder_->Encode(ex.tokens);
+      const size_t t_len = enc.embeddings.rows();
+      const size_t d = enc.embeddings.cols();
+      const Matrix sentence_avg = MeanRows(enc.embeddings);
+      Matrix features(t_len, 3 * d);
+      for (size_t t = 0; t < t_len; ++t) {
+        Matrix local = enc.embeddings.SliceRows(t, 1);
+        Matrix pooled = UpdateAndPool(ex.tokens[t].match, local);
+        std::copy(local.Row(0), local.Row(0) + d, features.Row(t));
+        std::copy(pooled.Row(0), pooled.Row(0) + d, features.Row(t) + d);
+        std::copy(sentence_avg.Row(0), sentence_avg.Row(0) + d,
+                  features.Row(t) + 2 * d);
+      }
+      std::vector<int> bio = ex.bio;
+      bio.resize(t_len);
+      optimizer.ZeroGrad();
+      ag::Var loss = ag::CrossEntropyWithLogits(
+          head_->Forward(ag::Constant(std::move(features))), bio);
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.value().At(0, 0);
+      ++count;
+    }
+    last_loss = count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
+    (void)seed;
+  }
+  return last_loss;
+}
+
+std::vector<std::vector<text::EntitySpan>> HireNer::Predict(
+    const std::vector<stream::Message>& messages) {
+  memory_.clear();
+  std::vector<std::vector<text::EntitySpan>> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) {
+    if (msg.tokens.empty()) {
+      out.emplace_back();
+      continue;
+    }
+    const lm::EncodeResult enc = encoder_->Encode(msg.tokens);
+    const size_t t_len = enc.embeddings.rows();
+    const size_t d = enc.embeddings.cols();
+    const Matrix sentence_avg = MeanRows(enc.embeddings);
+    Matrix features(t_len, 3 * d);
+    for (size_t t = 0; t < t_len; ++t) {
+      Matrix local = enc.embeddings.SliceRows(t, 1);
+      Matrix pooled = UpdateAndPool(msg.tokens[t].match, local);
+      std::copy(local.Row(0), local.Row(0) + d, features.Row(t));
+      std::copy(pooled.Row(0), pooled.Row(0) + d, features.Row(t) + d);
+      std::copy(sentence_avg.Row(0), sentence_avg.Row(0) + d,
+                features.Row(t) + 2 * d);
+    }
+    const Matrix logits = head_->Forward(ag::Constant(std::move(features))).value();
+    out.push_back(text::DecodeBio(ArgmaxLabels(logits)));
+  }
+  return out;
+}
+
+DoclNer::DoclNer(const lm::MicroBert* model, float confidence_gate)
+    : model_(model), confidence_gate_(confidence_gate) {
+  NERGLOB_CHECK(model != nullptr);
+}
+
+std::vector<std::vector<text::EntitySpan>> DoclNer::Predict(
+    const std::vector<stream::Message>& messages) {
+  struct MentionInfo {
+    size_t message_index;
+    text::EntitySpan span;
+    float confidence;
+    std::string surface;
+  };
+  std::vector<MentionInfo> mentions;
+  std::map<std::string, std::array<double, text::kNumEntityTypes>> votes;
+
+  // Pass 1: local decode with confidences; accumulate surface-level votes.
+  for (size_t m = 0; m < messages.size(); ++m) {
+    const auto& msg = messages[m];
+    if (msg.tokens.empty()) continue;
+    const lm::EncodeResult enc = model_->Encode(msg.tokens);
+    const Matrix probs = SoftmaxRows(enc.logits);
+    for (const auto& span : text::DecodeBio(enc.bio_labels)) {
+      float conf = 0.0f;
+      size_t counted = 0;
+      for (size_t t = span.begin_token;
+           t < span.end_token && t < probs.rows(); ++t) {
+        conf += probs.At(t, static_cast<size_t>(enc.bio_labels[t]));
+        ++counted;
+      }
+      conf = counted > 0 ? conf / static_cast<float>(counted) : 0.0f;
+      std::string surface;
+      for (size_t t = span.begin_token; t < span.end_token; ++t) {
+        if (!surface.empty()) surface += ' ';
+        surface += msg.tokens[t].match;
+      }
+      votes[surface][static_cast<size_t>(span.type)] += conf;
+      mentions.push_back({m, span, conf, std::move(surface)});
+    }
+  }
+
+  // Pass 2: label-consistency refinement for low-confidence mentions.
+  std::vector<std::vector<text::EntitySpan>> out(messages.size());
+  for (auto& mention : mentions) {
+    text::EntitySpan span = mention.span;
+    if (mention.confidence < confidence_gate_) {
+      const auto& v = votes.at(mention.surface);
+      size_t best = 0;
+      for (size_t t = 1; t < text::kNumEntityTypes; ++t) {
+        if (v[t] > v[best]) best = t;
+      }
+      span.type = static_cast<text::EntityType>(best);
+    }
+    out[mention.message_index].push_back(span);
+  }
+  return out;
+}
+
+}  // namespace nerglob::baselines

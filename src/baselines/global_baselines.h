@@ -1,0 +1,104 @@
+#ifndef NERGLOB_BASELINES_GLOBAL_BASELINES_H_
+#define NERGLOB_BASELINES_GLOBAL_BASELINES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/local_baselines.h"
+#include "nn/layers.h"
+
+namespace nerglob::baselines {
+
+/// Akbik et al. (2019) "Pooled Contextualized Embeddings" analogue: a
+/// per-token-string memory accumulates every contextual embedding seen so
+/// far; the token classifier reads [local ; pooled-memory] features. The
+/// memory grows across the dataset at prediction time, exactly like the
+/// paper's dynamic embeddings.
+class AkbikPooledNer : public NerBaseline {
+ public:
+  /// Memory pooling operation (Akbik et al. evaluate mean/min/max pools).
+  enum class MemoryPooling { kMean, kMin, kMax };
+
+  /// `encoder` is the shared fine-tuned encoder (frozen here).
+  AkbikPooledNer(const lm::MicroBert* encoder, uint64_t seed,
+                 MemoryPooling pooling = MemoryPooling::kMean);
+
+  /// Trains the classification head (encoder frozen), building the memory
+  /// over the training pass. Returns final-epoch mean loss.
+  double Train(const std::vector<lm::LabeledSentence>& train, int epochs,
+               float lr, uint64_t seed);
+
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) override;
+
+  std::string name() const override { return "Akbik et al."; }
+
+ private:
+  struct MemoryCell {
+    Matrix sum;      // (1, d): running sum (mean pooling)
+    Matrix extreme;  // (1, d): running min or max (min/max pooling)
+    int count = 0;
+  };
+
+  /// Adds `local` to the word's memory and returns the pooled vector.
+  Matrix UpdateAndPool(const std::string& word, const Matrix& local);
+  void ResetMemory() { memory_.clear(); }
+
+  const lm::MicroBert* encoder_;
+  MemoryPooling pooling_;
+  std::unique_ptr<nn::Linear> head_;  // 2d -> labels
+  std::map<std::string, MemoryCell> memory_;
+};
+
+/// HIRE-NER analogue: hierarchical refinement — token-level memory plus a
+/// sentence-level summary (mean of the sentence's embeddings) appended to
+/// each token's features before decoding.
+class HireNer : public NerBaseline {
+ public:
+  HireNer(const lm::MicroBert* encoder, uint64_t seed);
+
+  double Train(const std::vector<lm::LabeledSentence>& train, int epochs,
+               float lr, uint64_t seed);
+
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) override;
+
+  std::string name() const override { return "HIRE-NER"; }
+
+ private:
+  struct MemoryCell {
+    Matrix sum;
+    int count = 0;
+  };
+  Matrix UpdateAndPool(const std::string& word, const Matrix& local);
+
+  const lm::MicroBert* encoder_;
+  std::unique_ptr<nn::Linear> head_;  // 3d -> labels
+  std::map<std::string, MemoryCell> memory_;
+};
+
+/// DocL-NER analogue: document-level label-consistency refinement. Pass 1
+/// runs the local model and records confidence-weighted type votes per
+/// surface form; pass 2 relabels low-confidence mentions to their surface
+/// form's majority type.
+class DoclNer : public NerBaseline {
+ public:
+  /// `confidence_gate`: mentions whose mean token confidence is below this
+  /// are revoted.
+  DoclNer(const lm::MicroBert* model, float confidence_gate = 0.75f);
+
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) override;
+
+  std::string name() const override { return "DocL-NER"; }
+
+ private:
+  const lm::MicroBert* model_;
+  float confidence_gate_;
+};
+
+}  // namespace nerglob::baselines
+
+#endif  // NERGLOB_BASELINES_GLOBAL_BASELINES_H_

@@ -1,0 +1,120 @@
+#include "baselines/local_baselines.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::baselines {
+
+AguilarNer::AguilarNer(const Config& config, uint64_t seed)
+    : config_(config), subwords_(config.subword_buckets) {
+  Rng rng(seed);
+  char_cnn_ = std::make_unique<nn::CharCnn>(config.char_dim,
+                                            config.char_filters, &rng);
+  word_table_ = std::make_unique<nn::Embedding>(config.subword_buckets,
+                                                config.word_dim, &rng);
+  bilstm_ = std::make_unique<nn::BiLstm>(config.char_filters + config.word_dim,
+                                         config.lstm_hidden, &rng);
+  emission_head_ = std::make_unique<nn::Linear>(
+      2 * config.lstm_hidden, static_cast<size_t>(text::kNumBioLabels), &rng);
+  crf_ = std::make_unique<nn::LinearChainCrf>(
+      static_cast<size_t>(text::kNumBioLabels), &rng);
+}
+
+ag::Var AguilarNer::TokenFeatures(const std::vector<text::Token>& tokens) const {
+  std::vector<ag::Var> rows;
+  rows.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    ag::Var chars = char_cnn_->Forward(tok.match);
+    ag::Var word =
+        ag::MeanRows(word_table_->Forward(subwords_.SubwordIds(tok.match)));
+    rows.push_back(ag::ConcatCols({chars, word}));
+  }
+  return ag::ConcatRows(rows);
+}
+
+ag::Var AguilarNer::Emissions(const std::vector<text::Token>& tokens) const {
+  return emission_head_->Forward(bilstm_->Forward(TokenFeatures(tokens)));
+}
+
+std::vector<ag::Var> AguilarNer::Parameters() const {
+  std::vector<ag::Var> out;
+  for (const nn::Module* m :
+       std::vector<const nn::Module*>{char_cnn_.get(), word_table_.get(),
+                                      bilstm_.get(), emission_head_.get(),
+                                      crf_.get()}) {
+    for (const ag::Var& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+double AguilarNer::Train(const std::vector<lm::LabeledSentence>& train,
+                         int epochs, float lr, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<lm::LabeledSentence> data = train;
+  nn::Adam optimizer(Parameters(), lr);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&data);
+    double epoch_loss = 0.0;
+    size_t count = 0;
+    size_t i = 0;
+    while (i < data.size()) {
+      optimizer.ZeroGrad();
+      const size_t end = std::min(data.size(), i + 8);
+      for (; i < end; ++i) {
+        if (data[i].tokens.empty()) continue;
+        ag::Var nll = crf_->NegLogLikelihood(Emissions(data[i].tokens),
+                                             data[i].bio);
+        nll.Backward();
+        epoch_loss += nll.value().At(0, 0);
+        ++count;
+      }
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+    }
+    last_loss = count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
+  }
+  return last_loss;
+}
+
+std::vector<std::vector<text::EntitySpan>> AguilarNer::Predict(
+    const std::vector<stream::Message>& messages) {
+  std::vector<std::vector<text::EntitySpan>> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) {
+    if (msg.tokens.empty()) {
+      out.emplace_back();
+      continue;
+    }
+    const Matrix emissions = Emissions(msg.tokens).value();
+    out.push_back(text::DecodeBio(crf_->Decode(emissions)));
+  }
+  return out;
+}
+
+BertNer::BertNer(const lm::MicroBertConfig& config, uint64_t seed)
+    : model_(std::make_unique<lm::MicroBert>(config, seed)) {}
+
+double BertNer::Train(const std::vector<lm::LabeledSentence>& train,
+                      const lm::FineTuneOptions& options) {
+  return lm::FineTuneForNer(model_.get(), train, options);
+}
+
+std::vector<std::vector<text::EntitySpan>> BertNer::Predict(
+    const std::vector<stream::Message>& messages) {
+  std::vector<std::vector<text::EntitySpan>> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) {
+    if (msg.tokens.empty()) {
+      out.emplace_back();
+      continue;
+    }
+    out.push_back(text::DecodeBio(model_->Encode(msg.tokens).bio_labels));
+  }
+  return out;
+}
+
+}  // namespace nerglob::baselines

@@ -1,0 +1,96 @@
+#ifndef NERGLOB_BASELINES_LOCAL_BASELINES_H_
+#define NERGLOB_BASELINES_LOCAL_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/micro_bert.h"
+#include "nn/char_cnn.h"
+#include "nn/crf.h"
+#include "nn/recurrent.h"
+#include "stream/message.h"
+#include "text/subword.h"
+
+namespace nerglob::baselines {
+
+/// Common interface for every NER baseline: messages in, typed spans out.
+/// Predict is non-const because the Global NER baselines maintain memory
+/// state across the dataset.
+class NerBaseline {
+ public:
+  virtual ~NerBaseline() = default;
+
+  virtual std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Aguilar et al. (WNUT17 winner) analogue: a char-CNN + hashed word
+/// embedding feeding a BiLSTM with a linear-chain CRF decoder, trained from
+/// scratch on the TRAIN corpus (no pretraining — its handicap vs the
+/// transformer systems, as in the paper).
+class AguilarNer : public NerBaseline {
+ public:
+  struct Config {
+    size_t char_dim = 8;
+    size_t char_filters = 16;
+    size_t word_dim = 20;
+    size_t lstm_hidden = 16;
+    size_t subword_buckets = 2048;
+  };
+
+  AguilarNer(const Config& config, uint64_t seed);
+
+  /// Trains end to end (CRF NLL). Returns final-epoch mean loss.
+  double Train(const std::vector<lm::LabeledSentence>& train, int epochs,
+               float lr, uint64_t seed);
+
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) override;
+
+  std::string name() const override { return "Aguilar et al."; }
+
+  std::vector<ag::Var> Parameters() const;
+
+ private:
+  /// (T, char_filters + word_dim) input features for a token sequence.
+  ag::Var TokenFeatures(const std::vector<text::Token>& tokens) const;
+  /// (T, kNumBioLabels) CRF emissions.
+  ag::Var Emissions(const std::vector<text::Token>& tokens) const;
+
+  Config config_;
+  text::HashedSubwordVocab subwords_;
+  std::unique_ptr<nn::CharCnn> char_cnn_;
+  std::unique_ptr<nn::Embedding> word_table_;
+  std::unique_ptr<nn::BiLstm> bilstm_;
+  std::unique_ptr<nn::Linear> emission_head_;
+  std::unique_ptr<nn::LinearChainCrf> crf_;
+};
+
+/// BERT-NER (Devlin et al.) analogue: the same MicroBert architecture as
+/// the pipeline's Local NER, but fine-tuned on a *clean-text* corpus (no
+/// hashtags/elongation/RT noise) — modeling generic-domain BERT's mismatch
+/// with microblog text, which is why BERTweet beats it in the paper.
+class BertNer : public NerBaseline {
+ public:
+  BertNer(const lm::MicroBertConfig& config, uint64_t seed);
+
+  double Train(const std::vector<lm::LabeledSentence>& train,
+               const lm::FineTuneOptions& options);
+
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) override;
+
+  std::string name() const override { return "BERT-NER"; }
+
+  const lm::MicroBert& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<lm::MicroBert> model_;
+};
+
+}  // namespace nerglob::baselines
+
+#endif  // NERGLOB_BASELINES_LOCAL_BASELINES_H_

@@ -1,0 +1,45 @@
+#ifndef NERGLOB_BASELINES_TWICS_H_
+#define NERGLOB_BASELINES_TWICS_H_
+
+#include <vector>
+
+#include "stream/message.h"
+#include "text/bio.h"
+
+namespace nerglob::baselines {
+
+/// TwiCS analogue (Saha Bhowmick et al., TKDE 2021): lightweight entity
+/// *mention detection* (no typing) for targeted streams. A shallow
+/// syntactic heuristic proposes candidate mentions (capitalized token runs
+/// and hashtags); stream-wide *syntactic support* — the fraction of a
+/// surface form's occurrences that look entity-like — separates legitimate
+/// entities from incidental capitalization.
+///
+/// Output spans carry a dummy type (EMD systems do not type mentions);
+/// evaluate with NerScores::emd only.
+class TwicsEmd {
+ public:
+  struct Config {
+    /// Minimum fraction of entity-like occurrences for a surface form.
+    double min_support = 0.5;
+    /// Minimum number of occurrences before support is trusted.
+    int min_occurrences = 2;
+    /// Maximum candidate phrase length in tokens.
+    size_t max_phrase_len = 3;
+  };
+
+  explicit TwicsEmd(const Config& config) : config_(config) {}
+  TwicsEmd() : TwicsEmd(Config{}) {}
+
+  /// Two-pass EMD over the whole stream: collect candidates + support,
+  /// then emit every occurrence of accepted surface forms.
+  std::vector<std::vector<text::EntitySpan>> Predict(
+      const std::vector<stream::Message>& messages) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace nerglob::baselines
+
+#endif  // NERGLOB_BASELINES_TWICS_H_

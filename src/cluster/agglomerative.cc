@@ -1,0 +1,79 @@
+#include "cluster/agglomerative.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace nerglob::cluster {
+
+Matrix PairwiseCosineDistances(const Matrix& embeddings) {
+  const size_t n = embeddings.rows();
+  Matrix d(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Matrix a = embeddings.SliceRows(i, 1);
+      Matrix b = embeddings.SliceRows(j, 1);
+      const float dist = CosineDistance(a, b);
+      d.At(i, j) = dist;
+      d.At(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+ClusteringResult AgglomerativeCluster(const Matrix& distances, float threshold) {
+  const size_t n = distances.rows();
+  NERGLOB_CHECK_EQ(distances.cols(), n);
+  ClusteringResult result;
+  if (n == 0) return result;
+
+  // Active clusters as member lists; average linkage recomputed from the
+  // original pairwise matrix (exact, O(n^3) overall — mention pools per
+  // surface form are small, so this is the right simplicity/perf tradeoff).
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  auto average_linkage = [&](const std::vector<size_t>& a,
+                             const std::vector<size_t>& b) {
+    double total = 0.0;
+    for (size_t x : a) {
+      for (size_t y : b) total += distances.At(x, y);
+    }
+    return static_cast<float>(total / (a.size() * b.size()));
+  };
+
+  while (clusters.size() > 1) {
+    float best = std::numeric_limits<float>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        const float link = average_linkage(clusters[i], clusters[j]);
+        if (link < best) {
+          best = link;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > threshold) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  result.assignments.assign(n, 0);
+  result.num_clusters = clusters.size();
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t member : clusters[c]) {
+      result.assignments[member] = static_cast<int>(c);
+    }
+  }
+  return result;
+}
+
+ClusteringResult AgglomerativeClusterCosine(const Matrix& embeddings,
+                                            float threshold) {
+  return AgglomerativeCluster(PairwiseCosineDistances(embeddings), threshold);
+}
+
+}  // namespace nerglob::cluster

@@ -1,0 +1,37 @@
+#ifndef NERGLOB_CLUSTER_AGGLOMERATIVE_H_
+#define NERGLOB_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace nerglob::cluster {
+
+/// Output of a clustering run: assignments[i] is the cluster id (0-based,
+/// contiguous) of input row i.
+struct ClusteringResult {
+  std::vector<int> assignments;
+  size_t num_clusters = 0;
+};
+
+/// Bottom-up agglomerative clustering with *average linkage* over a
+/// caller-supplied pairwise distance matrix (n x n, symmetric, zero
+/// diagonal). Clusters merge while the smallest average inter-cluster
+/// distance is <= threshold; the number of clusters is not fixed a priori
+/// (Sec. V-C: candidate clusters per surface form are unknown in advance).
+ClusteringResult AgglomerativeCluster(const Matrix& distances, float threshold);
+
+/// Convenience wrapper: builds the cosine-distance matrix from row
+/// embeddings (n x d; each row one mention embedding) and clusters with
+/// average linkage. This is the configuration the paper uses (cosine
+/// distance, average linkage, threshold < 1).
+ClusteringResult AgglomerativeClusterCosine(const Matrix& embeddings,
+                                            float threshold);
+
+/// Pairwise cosine distance matrix of row embeddings.
+Matrix PairwiseCosineDistances(const Matrix& embeddings);
+
+}  // namespace nerglob::cluster
+
+#endif  // NERGLOB_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+namespace nerglob::internal_check {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[NERGLOB CHECK FAILED] %s:%d: %s", file, line, expr);
+  if (!extra.empty()) {
+    std::fprintf(stderr, " — %s", extra.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nerglob::internal_check

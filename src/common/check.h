@@ -1,0 +1,65 @@
+#ifndef NERGLOB_COMMON_CHECK_H_
+#define NERGLOB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nerglob::internal_check {
+
+/// Prints the failure banner and aborts. Out-of-line so the macro bodies
+/// stay small and the cold path does not bloat callers.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// Stream sink that aborts on destruction; powers `CHECK(x) << "detail"`.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageSink(const CheckMessageSink&) = delete;
+  CheckMessageSink& operator=(const CheckMessageSink&) = delete;
+
+  [[noreturn]] ~CheckMessageSink() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nerglob::internal_check
+
+/// Aborts with file/line and the failed expression when `cond` is false.
+/// Used for programmer errors / internal invariants (recoverable conditions
+/// surface as Status instead). Enabled in all build types.
+#define NERGLOB_CHECK(cond)                                                  \
+  for (; !(cond);)                                                           \
+  ::nerglob::internal_check::CheckMessageSink(__FILE__, __LINE__, #cond)
+
+#define NERGLOB_CHECK_EQ(a, b) NERGLOB_CHECK((a) == (b))
+#define NERGLOB_CHECK_NE(a, b) NERGLOB_CHECK((a) != (b))
+#define NERGLOB_CHECK_LT(a, b) NERGLOB_CHECK((a) < (b))
+#define NERGLOB_CHECK_LE(a, b) NERGLOB_CHECK((a) <= (b))
+#define NERGLOB_CHECK_GT(a, b) NERGLOB_CHECK((a) > (b))
+#define NERGLOB_CHECK_GE(a, b) NERGLOB_CHECK((a) >= (b))
+
+/// Debug-only check; compiles away in NDEBUG builds.
+#ifdef NDEBUG
+#define NERGLOB_DCHECK(cond) \
+  for (; false;)             \
+  ::nerglob::internal_check::CheckMessageSink(__FILE__, __LINE__, #cond)
+#else
+#define NERGLOB_DCHECK(cond) NERGLOB_CHECK(cond)
+#endif
+
+#endif  // NERGLOB_COMMON_CHECK_H_

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nerglob {
+
+namespace {
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("NERGLOB_LOG_LEVEL");
+    if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+    if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+    if (std::strcmp(env, "warning") == 0) return static_cast<int>(LogLevel::kWarning);
+    if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    return static_cast<int>(LogLevel::kInfo);
+  }()};
+  return level;
+}
+
+/// Basename of a path for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStore().load()); }
+
+void SetLogLevel(LogLevel level) { LevelStore().store(static_cast<int>(level)); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace nerglob

@@ -1,0 +1,52 @@
+#ifndef NERGLOB_COMMON_LOGGING_H_
+#define NERGLOB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nerglob {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo,
+/// overridable at startup via the NERGLOB_LOG_LEVEL environment variable
+/// ("debug"/"info"/"warning"/"error").
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace nerglob
+
+/// Leveled logging to stderr: NERGLOB_LOG(kInfo) << "trained " << n;
+#define NERGLOB_LOG(severity)                                   \
+  ::nerglob::internal_logging::LogMessage(                      \
+      ::nerglob::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // NERGLOB_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#ifndef NERGLOB_COMMON_TIMER_H_
+#define NERGLOB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace nerglob {
+
+/// Wall-clock stopwatch used by the benchmark harnesses (Table IV reports
+/// Local/Global execution time and overhead).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nerglob
+
+#endif  // NERGLOB_COMMON_TIMER_H_

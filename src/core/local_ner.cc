@@ -1,0 +1,65 @@
+#include "core/local_ner.h"
+
+#include "common/check.h"
+
+namespace nerglob::core {
+
+LocalNer::LocalNer(const lm::MicroBert* model) : model_(model) {
+  NERGLOB_CHECK(model != nullptr);
+}
+
+std::vector<std::string> SpanMatchTokens(const stream::Message& message,
+                                         size_t begin_token, size_t end_token) {
+  NERGLOB_CHECK_LE(end_token, message.tokens.size());
+  std::vector<std::string> out;
+  out.reserve(end_token - begin_token);
+  for (size_t t = begin_token; t < end_token; ++t) {
+    out.push_back(message.tokens[t].match);
+  }
+  return out;
+}
+
+std::string SpanSurfaceString(const stream::Message& message,
+                              size_t begin_token, size_t end_token) {
+  std::string surface;
+  for (size_t t = begin_token; t < end_token; ++t) {
+    if (!surface.empty()) surface += ' ';
+    surface += message.tokens[t].match;
+  }
+  return surface;
+}
+
+std::vector<LocalNer::Output> LocalNer::ProcessBatch(
+    const std::vector<stream::Message>& batch, stream::TweetBase* tweet_base,
+    trie::CandidateTrie* trie) const {
+  std::vector<Output> outputs;
+  outputs.reserve(batch.size());
+  for (const stream::Message& message : batch) {
+    Output out;
+    out.message_id = message.id;
+    if (message.tokens.empty()) {
+      outputs.push_back(std::move(out));
+      continue;
+    }
+    lm::EncodeResult encoded = model_->Encode(message.tokens);
+
+    stream::SentenceRecord record;
+    record.message = message;
+    record.token_embeddings = encoded.embeddings;
+    record.local_bio = encoded.bio_labels;
+    tweet_base->Put(std::move(record));
+
+    out.local_spans = text::DecodeBio(encoded.bio_labels);
+    for (const text::EntitySpan& span : out.local_spans) {
+      auto tokens = SpanMatchTokens(message, span.begin_token, span.end_token);
+      if (trie->Insert(tokens)) {
+        out.new_surfaces.push_back(
+            SpanSurfaceString(message, span.begin_token, span.end_token));
+      }
+    }
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+}  // namespace nerglob::core

@@ -1,0 +1,58 @@
+#ifndef NERGLOB_CORE_LOCAL_NER_H_
+#define NERGLOB_CORE_LOCAL_NER_H_
+
+#include <vector>
+
+#include "lm/micro_bert.h"
+#include "stream/message.h"
+#include "stream/tweet_base.h"
+#include "text/bio.h"
+#include "trie/candidate_trie.h"
+
+namespace nerglob::core {
+
+/// Local NER (Sec. IV): runs the fine-tuned language model over each
+/// message in isolation, stores the sentence record (entity-aware token
+/// embeddings + BIO labels) in the TweetBase, and registers the detected
+/// surface forms — the seed entity candidates — in the CandidateTrie.
+///
+/// The model is a weak labeller here: its spans seed the CTrie, its
+/// embeddings feed the Phrase Embedder; its final labels are NOT the
+/// system output (Global NER rewrites them).
+class LocalNer {
+ public:
+  /// `model` must outlive this object and already be fine-tuned for NER.
+  explicit LocalNer(const lm::MicroBert* model);
+
+  /// Result of local processing for one message.
+  struct Output {
+    int64_t message_id = 0;
+    /// Local BIO decode: the spans a conventional NER system would emit.
+    std::vector<text::EntitySpan> local_spans;
+    /// Surface forms (matching form, space-joined) newly added to `trie`.
+    std::vector<std::string> new_surfaces;
+  };
+
+  /// Processes a batch: fills `tweet_base` with sentence records and
+  /// registers seed surface forms in `trie`.
+  std::vector<Output> ProcessBatch(const std::vector<stream::Message>& batch,
+                                   stream::TweetBase* tweet_base,
+                                   trie::CandidateTrie* trie) const;
+
+  const lm::MicroBert& model() const { return *model_; }
+
+ private:
+  const lm::MicroBert* model_;
+};
+
+/// The matching-form token sequence of a span ("andy beshear" tokens).
+std::vector<std::string> SpanMatchTokens(const stream::Message& message,
+                                         size_t begin_token, size_t end_token);
+
+/// Space-joined surface string of a span.
+std::string SpanSurfaceString(const stream::Message& message,
+                              size_t begin_token, size_t end_token);
+
+}  // namespace nerglob::core
+
+#endif  // NERGLOB_CORE_LOCAL_NER_H_

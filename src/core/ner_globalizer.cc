@@ -1,0 +1,324 @@
+#include "core/ner_globalizer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "cluster/agglomerative.h"
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace nerglob::core {
+
+namespace {
+
+/// Pools larger than this are clustered on a prefix sample; the remaining
+/// mentions join the nearest cluster centroid. Keeps the O(n^3) linkage
+/// bounded for head entities with thousands of mentions.
+constexpr size_t kMaxClusterPool = 64;
+
+/// Greedy longest-first overlap resolution within one sentence.
+std::vector<text::EntitySpan> ResolveOverlaps(std::vector<text::EntitySpan> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const text::EntitySpan& a, const text::EntitySpan& b) {
+              const size_t la = a.end_token - a.begin_token;
+              const size_t lb = b.end_token - b.begin_token;
+              if (la != lb) return la > lb;
+              if (a.begin_token != b.begin_token) return a.begin_token < b.begin_token;
+              return static_cast<int>(a.type) < static_cast<int>(b.type);
+            });
+  std::vector<text::EntitySpan> kept;
+  for (const auto& span : spans) {
+    bool overlaps = false;
+    for (const auto& k : kept) {
+      if (span.begin_token < k.end_token && k.begin_token < span.end_token) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) kept.push_back(span);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const text::EntitySpan& a, const text::EntitySpan& b) {
+              return a.begin_token < b.begin_token;
+            });
+  return kept;
+}
+
+}  // namespace
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kLocalOnly:
+      return "local-only";
+    case PipelineStage::kMentionExtraction:
+      return "local+mention-extraction";
+    case PipelineStage::kLocalEmbeddings:
+      return "local+local-embeddings";
+    case PipelineStage::kFullGlobal:
+      return "full-global";
+  }
+  return "unknown";
+}
+
+NerGlobalizer::NerGlobalizer(const lm::MicroBert* model,
+                             const PhraseEmbedder* embedder,
+                             const EntityClassifier* classifier,
+                             NerGlobalizerConfig config)
+    : model_(model),
+      embedder_(embedder),
+      classifier_(classifier),
+      config_(config),
+      local_ner_(model) {
+  NERGLOB_CHECK(embedder != nullptr);
+  NERGLOB_CHECK(classifier != nullptr);
+  NERGLOB_CHECK(config.cluster_threshold < 1.0f)
+      << "cosine clustering threshold must stay below the triplet margin";
+}
+
+void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
+  // Ids of sentences that existed before this batch (for the delta rescan).
+  std::vector<int64_t> old_ids = tweet_base_.ids();
+
+  WallTimer local_timer;
+  std::vector<LocalNer::Output> outputs =
+      local_ner_.ProcessBatch(batch, &tweet_base_, &trie_);
+  local_seconds_ += local_timer.ElapsedSeconds();
+
+  WallTimer global_timer;
+  // Delta trie: the surface forms first seen in this batch. Previously
+  // processed sentences only need rescanning against these.
+  trie::CandidateTrie delta;
+  std::vector<int64_t> new_ids;
+  for (const LocalNer::Output& out : outputs) {
+    if (tweet_base_.Find(out.message_id) != nullptr) new_ids.push_back(out.message_id);
+    for (const std::string& surface : out.new_surfaces) {
+      delta.Insert(SplitChar(surface, ' '));
+    }
+    // Record local-type votes for the mention-extraction ablation stage.
+    const stream::SentenceRecord* rec = tweet_base_.Find(out.message_id);
+    for (const text::EntitySpan& span : out.local_spans) {
+      auto& votes = local_type_votes_[SpanSurfaceString(
+          rec->message, span.begin_token, span.end_token)];
+      ++votes[static_cast<size_t>(span.type)];
+    }
+  }
+
+  ExtractMentionsInto(new_ids, trie_);
+  if (delta.size() > 0) ExtractMentionsInto(old_ids, delta);
+  RefreshCandidates();
+  global_seconds_ += global_timer.ElapsedSeconds();
+}
+
+void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
+                               size_t batch_size) {
+  NERGLOB_CHECK_GT(batch_size, 0u);
+  for (size_t i = 0; i < messages.size(); i += batch_size) {
+    const size_t end = std::min(messages.size(), i + batch_size);
+    ProcessBatch(std::vector<stream::Message>(
+        messages.begin() + static_cast<std::ptrdiff_t>(i),
+        messages.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+}
+
+void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
+                                        const trie::CandidateTrie& trie) {
+  if (trie.size() == 0) return;
+  std::unordered_set<std::string> touched;
+  for (int64_t id : ids) {
+    const stream::SentenceRecord* record = tweet_base_.Find(id);
+    if (record == nullptr || record->message.tokens.empty()) continue;
+    std::vector<std::string> match_tokens;
+    match_tokens.reserve(record->message.tokens.size());
+    for (const auto& tok : record->message.tokens) match_tokens.push_back(tok.match);
+
+    for (const trie::TokenSpan& span :
+         trie.FindLongestMatches(match_tokens, config_.max_mention_span)) {
+      // Mentions truncated away by the encoder have no embeddings; skip.
+      if (span.begin >= record->token_embeddings.rows()) continue;
+      const size_t emb_end = std::min(span.end, record->token_embeddings.rows());
+      stream::MentionRecord mention;
+      mention.message_id = id;
+      mention.begin_token = span.begin;
+      mention.end_token = span.end;
+      mention.local_embedding =
+          embedder_->Embed(record->token_embeddings, span.begin, emb_end);
+      const std::string surface =
+          SpanSurfaceString(record->message, span.begin, span.end);
+      candidate_base_.AddMention(surface, std::move(mention));
+      touched.insert(surface);
+    }
+  }
+  for (const auto& surface : touched) dirty_surfaces_.push_back(surface);
+}
+
+void NerGlobalizer::RefreshCandidates() {
+  std::sort(dirty_surfaces_.begin(), dirty_surfaces_.end());
+  dirty_surfaces_.erase(
+      std::unique(dirty_surfaces_.begin(), dirty_surfaces_.end()),
+      dirty_surfaces_.end());
+
+  for (const std::string& surface : dirty_surfaces_) {
+    const auto& pool = candidate_base_.Mentions(surface);
+    if (pool.empty()) continue;
+    const size_t n = pool.size();
+    const size_t dim = pool[0].local_embedding.cols();
+
+    // Cluster a bounded prefix; assign the tail to the nearest centroid.
+    const size_t head = std::min(n, kMaxClusterPool);
+    Matrix head_embs(head, dim);
+    for (size_t i = 0; i < head; ++i) {
+      std::copy(pool[i].local_embedding.Row(0),
+                pool[i].local_embedding.Row(0) + dim, head_embs.Row(i));
+    }
+    cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
+        head_embs, config_.cluster_threshold);
+
+    std::vector<std::vector<size_t>> members(clustering.num_clusters);
+    for (size_t i = 0; i < head; ++i) {
+      members[static_cast<size_t>(clustering.assignments[i])].push_back(i);
+    }
+    if (n > head) {
+      // Centroids of the head clusters.
+      std::vector<Matrix> centroids(clustering.num_clusters, Matrix(1, dim));
+      for (size_t c = 0; c < clustering.num_clusters; ++c) {
+        for (size_t i : members[c]) {
+          centroids[c].AddInPlace(pool[i].local_embedding);
+        }
+        centroids[c].Scale(1.0f / static_cast<float>(members[c].size()));
+      }
+      for (size_t i = head; i < n; ++i) {
+        size_t best = 0;
+        float best_dist = CosineDistance(pool[i].local_embedding, centroids[0]);
+        for (size_t c = 1; c < clustering.num_clusters; ++c) {
+          const float d = CosineDistance(pool[i].local_embedding, centroids[c]);
+          if (d < best_dist) {
+            best_dist = d;
+            best = c;
+          }
+        }
+        members[best].push_back(i);
+      }
+    }
+
+    std::vector<stream::CandidateEntry> entries;
+    entries.reserve(members.size());
+    for (const auto& cluster_members : members) {
+      if (cluster_members.empty()) continue;
+      Matrix member_embs(cluster_members.size(), dim);
+      for (size_t j = 0; j < cluster_members.size(); ++j) {
+        std::copy(pool[cluster_members[j]].local_embedding.Row(0),
+                  pool[cluster_members[j]].local_embedding.Row(0) + dim,
+                  member_embs.Row(j));
+      }
+      const EntityClassifier::Prediction pred = classifier_->Predict(member_embs);
+      stream::CandidateEntry entry;
+      entry.surface = surface;
+      entry.mention_ids = cluster_members;
+      entry.is_entity = pred.is_entity();
+      if (pred.is_entity()) entry.type = pred.type();
+      entry.confidence = pred.confidence;
+      entries.push_back(std::move(entry));
+    }
+    candidate_base_.SetCandidates(surface, std::move(entries));
+  }
+  dirty_surfaces_.clear();
+}
+
+std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictions()
+    const {
+  const std::vector<int64_t>& ids = tweet_base_.ids();
+  std::unordered_map<int64_t, size_t> index_of;
+  index_of.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) index_of[ids[i]] = i;
+  std::vector<std::vector<text::EntitySpan>> out(ids.size());
+
+  for (const std::string& surface : candidate_base_.surfaces()) {
+    const auto& pool = candidate_base_.Mentions(surface);
+    if (pool.empty()) continue;
+    const size_t dim = pool[0].local_embedding.cols();
+    // One candidate per surface form: pool ALL mentions together
+    // (no ambiguity-resolving clustering).
+    const size_t take = std::min(pool.size(), kMaxClusterPool);
+    Matrix members(take, dim);
+    for (size_t i = 0; i < take; ++i) {
+      std::copy(pool[i].local_embedding.Row(0),
+                pool[i].local_embedding.Row(0) + dim, members.Row(i));
+    }
+    const EntityClassifier::Prediction pred = classifier_->Predict(members);
+    if (!pred.is_entity()) continue;
+    for (const auto& mention : pool) {
+      out[index_of.at(mention.message_id)].push_back(
+          {mention.begin_token, mention.end_token, text::EntityType::kPerson});
+    }
+  }
+  for (auto& spans : out) spans = ResolveOverlaps(std::move(spans));
+  return out;
+}
+
+std::vector<std::vector<text::EntitySpan>> NerGlobalizer::Predictions(
+    PipelineStage stage) {
+  const std::vector<int64_t>& ids = tweet_base_.ids();
+  std::unordered_map<int64_t, size_t> index_of;
+  index_of.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) index_of[ids[i]] = i;
+  std::vector<std::vector<text::EntitySpan>> out(ids.size());
+
+  auto add_mention = [&](const stream::MentionRecord& m, text::EntityType type) {
+    out[index_of.at(m.message_id)].push_back({m.begin_token, m.end_token, type});
+  };
+
+  switch (stage) {
+    case PipelineStage::kLocalOnly: {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const stream::SentenceRecord* rec = tweet_base_.Find(ids[i]);
+        out[i] = text::DecodeBio(rec->local_bio);
+      }
+      return out;  // no overlap resolution needed: BIO is non-overlapping
+    }
+    case PipelineStage::kMentionExtraction: {
+      for (const std::string& surface : candidate_base_.surfaces()) {
+        auto it = local_type_votes_.find(surface);
+        text::EntityType type = text::EntityType::kPerson;
+        if (it != local_type_votes_.end()) {
+          size_t best = 0;
+          for (size_t t = 1; t < text::kNumEntityTypes; ++t) {
+            if (it->second[t] > it->second[best]) best = t;
+          }
+          type = static_cast<text::EntityType>(best);
+        }
+        for (const auto& mention : candidate_base_.Mentions(surface)) {
+          add_mention(mention, type);
+        }
+      }
+      break;
+    }
+    case PipelineStage::kLocalEmbeddings: {
+      for (const std::string& surface : candidate_base_.surfaces()) {
+        for (const auto& mention : candidate_base_.Mentions(surface)) {
+          const EntityClassifier::Prediction pred =
+              classifier_->Predict(mention.local_embedding);
+          if (pred.is_entity()) add_mention(mention, pred.type());
+        }
+      }
+      break;
+    }
+    case PipelineStage::kFullGlobal: {
+      for (const std::string& surface : candidate_base_.surfaces()) {
+        const auto& pool = candidate_base_.Mentions(surface);
+        for (const auto& entry : candidate_base_.Candidates(surface)) {
+          if (!entry.is_entity) continue;
+          for (size_t mention_id : entry.mention_ids) {
+            add_mention(pool[mention_id], entry.type);
+          }
+        }
+      }
+      break;
+    }
+  }
+  for (auto& spans : out) spans = ResolveOverlaps(std::move(spans));
+  return out;
+}
+
+}  // namespace nerglob::core

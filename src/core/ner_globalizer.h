@@ -1,0 +1,118 @@
+#ifndef NERGLOB_CORE_NER_GLOBALIZER_H_
+#define NERGLOB_CORE_NER_GLOBALIZER_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/entity_classifier.h"
+#include "core/local_ner.h"
+#include "core/phrase_embedder.h"
+#include "stream/candidate_base.h"
+#include "stream/message.h"
+#include "stream/tweet_base.h"
+#include "trie/candidate_trie.h"
+
+namespace nerglob::core {
+
+/// Which prefix of the pipeline produces the output — the Fig. 3 ablation
+/// stages, bottom curve to top curve.
+enum class PipelineStage {
+  /// Conventional NER: the Local NER BIO decode is the output.
+  kLocalOnly = 0,
+  /// + CTrie mention extraction; surface forms typed by their most
+  /// frequent local type (Fig. 3's second curve).
+  kMentionExtraction = 1,
+  /// + local mention embeddings, each classified individually (no pooling;
+  /// Fig. 3's third curve).
+  kLocalEmbeddings = 2,
+  /// Full Global NER: clustering + pooled global embeddings + classifier.
+  kFullGlobal = 3,
+};
+
+const char* PipelineStageName(PipelineStage stage);
+
+struct NerGlobalizerConfig {
+  /// Agglomerative clustering cut (cosine distance; must be < 1, the
+  /// triplet margin — Sec. V-C).
+  float cluster_threshold = 0.6f;
+  /// Mention-extraction lookahead (k following tokens, Sec. V-A).
+  size_t max_mention_span = trie::CandidateTrie::kDefaultMaxSpan;
+};
+
+/// The NER Globalizer pipeline (Fig. 2): Local NER -> mention extraction ->
+/// phrase embedding -> candidate clustering -> entity classification.
+/// Supports continuous execution over batches: every ProcessBatch extends
+/// the TweetBase/CTrie/CandidateBase incrementally; Predictions() reflects
+/// everything processed so far.
+class NerGlobalizer {
+ public:
+  /// All components must outlive the pipeline and be trained already
+  /// (model fine-tuned, embedder + classifier trained on D5).
+  NerGlobalizer(const lm::MicroBert* model, const PhraseEmbedder* embedder,
+                const EntityClassifier* classifier, NerGlobalizerConfig config);
+
+  /// Processes one batch of the stream (Sec. III execution cycle).
+  void ProcessBatch(const std::vector<stream::Message>& batch);
+
+  /// Convenience: processes `messages` in batches of `batch_size`.
+  void ProcessAll(const std::vector<stream::Message>& messages,
+                  size_t batch_size = 256);
+
+  /// Final spans per processed message (stream order), produced by the
+  /// given pipeline prefix. kFullGlobal is the system output.
+  std::vector<std::vector<text::EntitySpan>> Predictions(
+      PipelineStage stage = PipelineStage::kFullGlobal);
+
+  /// EMD Globalizer (the predecessor system, paper ref. [8]): collective
+  /// processing *without* type-aware clustering — every surface form is one
+  /// candidate (all mentions pooled together) and the classifier only
+  /// decides entity vs non-entity. Spans carry a dummy type; score with
+  /// NerScores::emd. Sec. VI-D: the full pipeline improves EMD over this by
+  /// resolving entity/non-entity surface-form ambiguity per cluster.
+  std::vector<std::vector<text::EntitySpan>> EmdGlobalizerPredictions() const;
+
+  /// Message ids in stream order (aligned with Predictions()).
+  const std::vector<int64_t>& message_ids() const { return tweet_base_.ids(); }
+
+  /// Cumulative wall-clock seconds spent in the Local NER step vs the
+  /// Global NER steps (Table IV's execution-time columns).
+  double local_seconds() const { return local_seconds_; }
+  double global_seconds() const { return global_seconds_; }
+
+  const stream::TweetBase& tweet_base() const { return tweet_base_; }
+  const stream::CandidateBase& candidate_base() const { return candidate_base_; }
+  const trie::CandidateTrie& trie() const { return trie_; }
+  const NerGlobalizerConfig& config() const { return config_; }
+
+ private:
+  /// Scans `ids` against `trie`, appending new mention records (with local
+  /// embeddings) to the CandidateBase.
+  void ExtractMentionsInto(const std::vector<int64_t>& ids,
+                           const trie::CandidateTrie& trie);
+
+  /// Re-clusters and re-classifies every surface form whose pool changed.
+  void RefreshCandidates();
+
+  const lm::MicroBert* model_;
+  const PhraseEmbedder* embedder_;
+  const EntityClassifier* classifier_;
+  NerGlobalizerConfig config_;
+  LocalNer local_ner_;
+
+  stream::TweetBase tweet_base_;
+  trie::CandidateTrie trie_;
+  stream::CandidateBase candidate_base_;
+  /// Most-frequent-local-type votes per surface (for kMentionExtraction).
+  std::map<std::string, std::array<int, text::kNumEntityTypes>> local_type_votes_;
+  /// Surfaces whose mention pool changed since the last RefreshCandidates.
+  std::vector<std::string> dirty_surfaces_;
+
+  double local_seconds_ = 0.0;
+  double global_seconds_ = 0.0;
+};
+
+}  // namespace nerglob::core
+
+#endif  // NERGLOB_CORE_NER_GLOBALIZER_H_

@@ -1,0 +1,28 @@
+#include "core/phrase_embedder.h"
+
+#include "common/check.h"
+
+namespace nerglob::core {
+
+PhraseEmbedder::PhraseEmbedder(size_t dim, Rng* rng, bool normalize)
+    : dim_(dim), normalize_(normalize), dense_(dim, dim, rng) {}
+
+ag::Var PhraseEmbedder::Forward(const Matrix& token_embeddings, size_t begin,
+                                size_t end) const {
+  NERGLOB_CHECK_LT(begin, end);
+  NERGLOB_CHECK_LE(end, token_embeddings.rows());
+  NERGLOB_CHECK_EQ(token_embeddings.cols(), dim_);
+  // Token embeddings are constants here: the Local NER encoder is frozen
+  // (Sec. V-B: "the weights fine-tuned during Local NER remain frozen").
+  ag::Var span = ag::Constant(token_embeddings.SliceRows(begin, end - begin));
+  ag::Var pooled = ag::MeanRows(span);                       // Eq. 1
+  if (normalize_) pooled = ag::L2NormalizeRows(pooled);      // Eq. 2
+  return dense_.Forward(pooled);                             // Eq. 3
+}
+
+Matrix PhraseEmbedder::Embed(const Matrix& token_embeddings, size_t begin,
+                             size_t end) const {
+  return Forward(token_embeddings, begin, end).value();
+}
+
+}  // namespace nerglob::core

@@ -1,0 +1,94 @@
+#ifndef NERGLOB_CORE_TRAINING_H_
+#define NERGLOB_CORE_TRAINING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+#include "lm/micro_bert.h"
+#include "stream/message.h"
+
+namespace nerglob::core {
+
+/// One training mention collected from the D5 stream: the surface form,
+/// its class (entity type, or kNonEntityClass for seeded non-entities), and
+/// the frozen token embeddings of the mention span from Local NER.
+struct MentionExample {
+  std::string surface;
+  int label = kNonEntityClass;
+  Matrix token_embeddings;  ///< (span_len, d)
+};
+
+/// Runs Local NER + CTrie mention extraction over a labeled stream (D5) and
+/// labels each extracted mention: gold span+type match -> entity type; no
+/// overlap with any gold span -> seeded non-entity (the paper seeds
+/// non-entities by running EMD Globalizer on D5, Sec. V-D); partial
+/// overlaps are skipped as noisy.
+std::vector<MentionExample> CollectMentionExamples(
+    const std::vector<stream::Message>& labeled, const lm::MicroBert& model,
+    size_t max_mention_span = 6);
+
+/// Contrastive objective for the Phrase Embedder (Table II compares both).
+enum class EmbedderObjective { kTriplet, kSoftNN };
+
+struct EmbedderTrainOptions {
+  EmbedderObjective objective = EmbedderObjective::kTriplet;
+  int max_epochs = 40;
+  int patience = 8;  ///< early stopping (Sec. VI)
+  /// Triplets (or mentions, for Soft-NN) per optimizer step. The paper uses
+  /// 2048 / 64; defaults here are scaled to our dataset sizes.
+  size_t batch_size = 256;
+  size_t max_triplets = 20000;  ///< triplet mining budget
+  float lr = 1e-3f;             ///< Adam (paper: 0.001)
+  float margin = 1.0f;          ///< triplet margin (paper: 1 = orthogonality)
+  float temperature = 0.3f;     ///< Soft-NN tau
+  double validation_fraction = 0.2;  ///< 80-20 split (paper)
+  uint64_t seed = 1;
+};
+
+struct EmbedderTrainResult {
+  size_t dataset_size = 0;  ///< mined triplets / mention records
+  double train_loss = 0.0;
+  double validation_loss = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains the Phrase Embedder with contrastive estimation over the mention
+/// examples ("Mention Triplet Mining" / "Mention Cluster Mining", Sec. VI).
+EmbedderTrainResult TrainPhraseEmbedder(PhraseEmbedder* embedder,
+                                        const std::vector<MentionExample>& examples,
+                                        const EmbedderTrainOptions& options);
+
+struct ClassifierTrainOptions {
+  int max_epochs = 80;
+  int patience = 20;  ///< paper: early stopping after 20 epochs
+  size_t batch_size = 32;
+  float lr = 1.5e-3f;  ///< paper: Adam, 0.0015
+  double validation_fraction = 0.2;
+  /// Probability of training on a random subset of a ground-truth cluster
+  /// instead of the full cluster. Test-time clusters are produced by
+  /// agglomerative clustering and are often small or fragmented; subset
+  /// augmentation makes the pooled classifier robust to that shift.
+  double subset_augmentation = 0.5;
+  uint64_t seed = 2;
+};
+
+struct ClassifierTrainResult {
+  size_t num_candidates = 0;  ///< ground-truth clusters (paper: 1391)
+  double validation_macro_f1 = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains pooling + classifier end-to-end on the ground-truth candidate
+/// clusters of the mention examples (grouped by surface+label); reports the
+/// best validation macro-F1 (Table II's last column) and restores the best
+/// checkpoint into the classifier.
+ClassifierTrainResult TrainEntityClassifier(
+    EntityClassifier* classifier, const PhraseEmbedder& embedder,
+    const std::vector<MentionExample>& examples,
+    const ClassifierTrainOptions& options);
+
+}  // namespace nerglob::core
+
+#endif  // NERGLOB_CORE_TRAINING_H_

@@ -1,0 +1,39 @@
+#ifndef NERGLOB_DATA_CONLL_IO_H_
+#define NERGLOB_DATA_CONLL_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/message.h"
+
+namespace nerglob::data {
+
+/// CoNLL-style I/O so the pipeline can run on real annotated corpora
+/// (e.g. an actual WNUT17/BTC download) instead of the simulator.
+///
+/// Format: one token per line as "TOKEN<TAB>LABEL" (or whitespace
+/// separated), blank line between sentences. Labels use the BIO scheme
+/// with the four supported types (B-PER, I-LOC, ...); unknown entity types
+/// (e.g. WNUT17's "B-creative-work") map to MISC, matching the paper's
+/// type grouping (Sec. IV).
+
+/// Parses CoNLL text into messages (token offsets are synthesized by
+/// joining tokens with single spaces). Returns InvalidArgument on
+/// malformed label sequences or lines.
+Result<std::vector<stream::Message>> ReadConll(std::istream& in);
+
+/// File convenience wrapper.
+Result<std::vector<stream::Message>> ReadConllFile(const std::string& path);
+
+/// Writes messages with the given span annotations in CoNLL format.
+/// `spans` outer size must equal messages size (use GoldSpans(...) or
+/// pipeline predictions).
+Status WriteConll(std::ostream& out,
+                  const std::vector<stream::Message>& messages,
+                  const std::vector<std::vector<text::EntitySpan>>& spans);
+
+}  // namespace nerglob::data
+
+#endif  // NERGLOB_DATA_CONLL_IO_H_

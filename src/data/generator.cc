@@ -1,0 +1,423 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::data {
+
+namespace {
+
+using text::EntityType;
+
+/// Template token stream with typed slots. "{PER}" etc. mark entity slots;
+/// every other whitespace-separated piece is a literal token.
+struct Template {
+  std::string pattern;
+  Topic topic;
+  bool generic = false;  ///< usable in every topic
+};
+
+/// Entity-bearing templates. Contexts are deliberately overlapping across
+/// types ("says", "big day for", "everyone is talking about") so a locally
+/// limited model confuses ORG/MISC with PER/LOC — the failure mode the
+/// paper attributes to BERTweet (Sec. I case study).
+const Template kTemplates[] = {
+    // Health.
+    {"{PER} shuts down schools as {MISC} cases rise", Topic::kHealth},
+    {"{MISC} is spreading fast in {LOC}", Topic::kHealth},
+    {"{LOC} reports new {MISC} deaths today", Topic::kHealth},
+    {"{ORG} warns about the {MISC} surge", Topic::kHealth},
+    {"{PER} says {LOC} must stay home now", Topic::kHealth},
+    {"breaking : {ORG} approves new vaccine for {MISC}", Topic::kHealth},
+    {"hospitals in {LOC} are full because of {MISC}", Topic::kHealth},
+    {"{PER} announced a lockdown in {LOC}", Topic::kHealth},
+    {"thank you {ORG} workers for fighting {MISC}", Topic::kHealth},
+    {"{MISC} cases in {LOC} doubled this week", Topic::kHealth},
+    // Politics.
+    {"{PER} slams the {ORG} over a leaked memo", Topic::kPolitics},
+    {"{ORG} opens investigation into {PER}", Topic::kPolitics},
+    {"{PER} heads to {LOC} for an emergency summit", Topic::kPolitics},
+    {"protests erupt in {LOC} after the {MISC} vote", Topic::kPolitics},
+    {"{ORG} denies interfering in the election", Topic::kPolitics},
+    {"{PER} says {MISC} was a mistake", Topic::kPolitics},
+    {"the {ORG} passed the bill last night", Topic::kPolitics},
+    {"voters in {LOC} are angry about {MISC}", Topic::kPolitics},
+    // Sports.
+    {"{PER} scores again as {ORG} win in {LOC}", Topic::kSports},
+    {"{ORG} fans are celebrating in {LOC}", Topic::kSports},
+    {"{PER} ruled out of the {MISC}", Topic::kSports},
+    {"the {MISC} final will be played in {LOC}", Topic::kSports},
+    {"{ORG} signed {PER} for a record fee", Topic::kSports},
+    {"what a game by {PER} tonight", Topic::kSports},
+    // Entertainment.
+    {"{PER} drops the new single {MISC} tonight", Topic::kEntertainment},
+    {"{MISC} is trending after the premiere in {LOC}", Topic::kEntertainment},
+    {"{ORG} renews the show for another season", Topic::kEntertainment},
+    {"{PER} was spotted in {LOC} last night", Topic::kEntertainment},
+    {"listening to {MISC} on repeat all day", Topic::kEntertainment},
+    {"{ORG} signs a huge deal with {PER}", Topic::kEntertainment},
+    // Science.
+    {"{ORG} launches a mission to {LOC}", Topic::kScience},
+    {"{PER} unveils the new {MISC} today", Topic::kScience},
+    {"{ORG} stock jumps after the {MISC} reveal", Topic::kScience},
+    {"scientists in {LOC} are studying {MISC}", Topic::kScience},
+    {"{PER} says {ORG} will build it in {LOC}", Topic::kScience},
+    {"the {MISC} update is rolling out now", Topic::kScience},
+    // Cross-type confusable contexts (generic).
+    {"{ORG} says it will act soon", Topic::kHealth, true},
+    {"{MISC} is everywhere in {LOC} right now", Topic::kHealth, true},
+    {"everyone is talking about {ORG}", Topic::kHealth, true},
+    {"everyone is talking about {MISC}", Topic::kHealth, true},
+    {"{PER} is all over the news", Topic::kHealth, true},
+    {"big day for {ORG}", Topic::kHealth, true},
+    {"big day for {PER}", Topic::kHealth, true},
+    {"{LOC} is beautiful this time of year", Topic::kHealth, true},
+    {"so proud of {PER} today", Topic::kHealth, true},
+};
+
+/// Sentences whose only "entity-looking" words are non-entities: the gold
+/// label is O everywhere. These put the pronoun "us", the fruit "apple",
+/// the beer "corona", the insects "fireflies" etc. into the stream so that
+/// surface forms are genuinely ambiguous (Sec. V-C).
+const char* const kHomographSentences[] = {
+    "please help us get through this",
+    "none of us saw that coming",
+    "this affects all of us honestly",
+    "so who is going to fix this",
+    "who else is tired of this",
+    "an apple a day keeps the doctor away",
+    "watching fireflies in the garden tonight",
+    "drinking a cold corona on the beach",
+    "they left us waiting for hours",
+};
+
+/// Entity-free filler chatter.
+const char* const kFillerSentences[] = {
+    "good morning everyone have a great day",
+    "i can not believe this is happening",
+    "so tired of all this news",
+    "what a week it has been",
+    "stay safe out there friends",
+    "honestly this made my whole day",
+    "cannot stop thinking about it",
+};
+
+std::string TitleCase(const std::string& word) {
+  std::string out = word;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+std::string UpperCase(const std::string& word) {
+  std::string out = word;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ApplyTypo(const std::string& word, Rng* rng) {
+  if (word.size() <= 3) return word;
+  const size_t pos = 1 + rng->NextBelow(word.size() - 2);
+  std::string out = word;
+  if (rng->NextBernoulli(0.5)) {
+    out.erase(pos, 1);  // drop a character
+  } else {
+    out.insert(pos, 1, word[pos]);  // duplicate a character
+  }
+  return out;
+}
+
+std::string Elongate(const std::string& word, Rng* rng) {
+  if (word.empty() || !std::isalpha(static_cast<unsigned char>(word.back()))) {
+    return word;
+  }
+  std::string out = word;
+  const size_t extra = 2 + rng->NextBelow(3);
+  out.append(extra, word.back());
+  return out;
+}
+
+bool HasOrgOrMiscSlot(const Template& t) {
+  return t.pattern.find("{ORG}") != std::string::npos ||
+         t.pattern.find("{MISC}") != std::string::npos;
+}
+
+bool ParseSlot(const std::string& piece, EntityType* type) {
+  if (piece == "{PER}") {
+    *type = EntityType::kPerson;
+  } else if (piece == "{LOC}") {
+    *type = EntityType::kLocation;
+  } else if (piece == "{ORG}") {
+    *type = EntityType::kOrganization;
+  } else if (piece == "{MISC}") {
+    *type = EntityType::kMisc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DatasetSpec MakeDatasetSpec(const std::string& name, double scale) {
+  NERGLOB_CHECK(scale > 0.0 && scale <= 1.0);
+  DatasetSpec spec;
+  spec.name = name;
+  auto scaled = [scale](size_t n) {
+    return std::max<size_t>(50, static_cast<size_t>(n * scale));
+  };
+  if (name == "D1") {
+    spec.num_messages = scaled(1000);
+    spec.topics = {Topic::kPolitics};
+    spec.zipf_exponent = 1.1;
+    spec.seed = 11;
+  } else if (name == "D2") {
+    spec.num_messages = scaled(2000);
+    spec.topics = {Topic::kHealth};
+    spec.zipf_exponent = 1.1;
+    spec.seed = 12;
+  } else if (name == "D3") {
+    spec.num_messages = scaled(3000);
+    spec.topics = {Topic::kPolitics, Topic::kSports, Topic::kScience};
+    spec.zipf_exponent = 1.05;
+    spec.seed = 13;
+  } else if (name == "D4") {
+    spec.num_messages = scaled(6000);
+    spec.topics = {Topic::kHealth, Topic::kPolitics, Topic::kSports,
+                   Topic::kEntertainment, Topic::kScience};
+    spec.zipf_exponent = 1.0;
+    spec.seed = 14;
+  } else if (name == "D5") {
+    spec.num_messages = scaled(3430);
+    // The paper's D5 is a single-topic stream; BERTweet's large-scale
+    // pretraining makes entity-type semantics transfer across topics. Our
+    // from-scratch encoder has no pretraining, so the Global NER training
+    // stream covers all topics instead (substitution documented in
+    // DESIGN.md) — stream-like Zipf recurrence is preserved.
+    spec.topics = {Topic::kHealth, Topic::kPolitics, Topic::kSports,
+                   Topic::kEntertainment, Topic::kScience};
+    spec.zipf_exponent = 1.1;
+    spec.seed = 15;
+  } else if (name == "WNUT17") {
+    spec.num_messages = scaled(1287);
+    spec.topics = {Topic::kHealth, Topic::kPolitics, Topic::kSports,
+                   Topic::kEntertainment, Topic::kScience};
+    spec.zipf_exponent = 0.3;  // random sampling: little entity recurrence
+    spec.seed = 16;
+  } else if (name == "BTC") {
+    spec.num_messages = scaled(9553);
+    spec.topics = {Topic::kHealth, Topic::kPolitics, Topic::kSports,
+                   Topic::kEntertainment, Topic::kScience};
+    spec.zipf_exponent = 0.2;
+    spec.seed = 17;
+  } else if (name == "TRAIN") {
+    spec.num_messages = scaled(1800);
+    spec.topics = {Topic::kHealth, Topic::kPolitics, Topic::kSports,
+                   Topic::kEntertainment, Topic::kScience};
+    spec.zipf_exponent = 0.4;
+    // Scarce ORG/MISC supervision + held-out contexts: reproduces the local
+    // model's weakness on those types and on novel stream contexts
+    // (paper Sec. VI-A / Table IV).
+    spec.org_misc_weight = 0.05;
+    spec.template_coverage = 0.6;
+    spec.seed = 18;
+  } else if (name == "TRAIN_CLEAN") {
+    // Clean-text variant of TRAIN for the generic-BERT baseline: same
+    // supervision, none of the microblog noise — models a generic-domain
+    // model's mismatch with noisy streams (BERT-NER vs BERTweet).
+    spec = MakeDatasetSpec("TRAIN", scale);
+    spec.name = name;
+    spec.noise.lowercase_entity = 0.25;
+    spec.noise.uppercase_entity = 0.0;
+    spec.noise.hashtagify = 0.03;
+    spec.noise.typo = 0.0;
+    spec.noise.elongation = 0.0;
+    spec.noise.rt_prefix = 0.05;
+    spec.noise.append_url = 0.05;
+    spec.noise.append_emoticon = 0.0;
+  } else {
+    NERGLOB_CHECK(false) << "unknown dataset spec: " << name;
+  }
+  return spec;
+}
+
+StreamGenerator::StreamGenerator(const KnowledgeBase* kb) : kb_(kb) {
+  NERGLOB_CHECK(kb != nullptr);
+}
+
+std::vector<stream::Message> StreamGenerator::Generate(
+    const DatasetSpec& spec) const {
+  Rng rng(spec.seed);
+  text::Tokenizer tokenizer;
+
+  // Per (topic, type) entity pools with a dataset-specific popularity order
+  // (the Zipf rank permutation differs between datasets).
+  std::unordered_map<int, std::vector<size_t>> pools;
+  for (Topic topic : spec.topics) {
+    for (int ty = 0; ty < text::kNumEntityTypes; ++ty) {
+      const int key = static_cast<int>(topic) * text::kNumEntityTypes + ty;
+      auto pool = kb_->EntitiesForTopicType(topic, static_cast<EntityType>(ty));
+      Rng pool_rng(spec.seed * 977 + static_cast<uint64_t>(key));
+      pool_rng.Shuffle(&pool);
+      pools[key] = std::move(pool);
+    }
+  }
+
+  // Candidate templates for this dataset's topics, with sampling weights.
+  // template_coverage < 1 drops a deterministic suffix of each topic's
+  // inventory (every k-th template), simulating contexts unseen at training.
+  std::vector<const Template*> templates;
+  std::vector<double> weights;
+  size_t template_index = 0;
+  for (const Template& t : kTemplates) {
+    const bool topic_match =
+        std::find(spec.topics.begin(), spec.topics.end(), t.topic) !=
+        spec.topics.end();
+    if (!topic_match && !t.generic) continue;
+    ++template_index;
+    if (spec.template_coverage < 1.0) {
+      const double phase = static_cast<double>(template_index % 10) / 10.0;
+      if (phase >= spec.template_coverage) continue;
+    }
+    templates.push_back(&t);
+    weights.push_back(HasOrgOrMiscSlot(t) ? spec.org_misc_weight : 1.0);
+  }
+  NERGLOB_CHECK(!templates.empty());
+
+  std::vector<stream::Message> messages;
+  messages.reserve(spec.num_messages);
+  for (size_t m = 0; m < spec.num_messages; ++m) {
+    std::vector<std::string> words;
+    std::vector<std::pair<size_t, size_t>> span_bounds;
+    std::vector<EntityType> span_types;
+    // Default topic for entity-free chatter; entity templates override it
+    // with the topic their slots are filled from.
+    Topic message_topic = spec.topics[m % spec.topics.size()];
+
+    const double roll = rng.NextDouble();
+    if (roll < 0.08) {
+      // Homograph sentence: ambiguous words in their non-entity sense.
+      const char* s = kHomographSentences[rng.NextBelow(
+          std::size(kHomographSentences))];
+      words = SplitWhitespace(s);
+    } else if (roll < 0.16) {
+      const char* s = kFillerSentences[rng.NextBelow(std::size(kFillerSentences))];
+      words = SplitWhitespace(s);
+    } else {
+      const Template& tpl = *templates[rng.NextWeighted(weights)];
+      const Topic topic =
+          tpl.generic ? spec.topics[rng.NextBelow(spec.topics.size())] : tpl.topic;
+      message_topic = topic;
+      for (const std::string& piece : SplitWhitespace(tpl.pattern)) {
+        EntityType slot_type;
+        if (!ParseSlot(piece, &slot_type)) {
+          std::string word = piece;
+          if (rng.NextBernoulli(spec.noise.elongation)) word = Elongate(word, &rng);
+          words.push_back(std::move(word));
+          continue;
+        }
+        // Fill the slot: Zipf-ranked entity, then a random alias.
+        const int key =
+            static_cast<int>(topic) * text::kNumEntityTypes + static_cast<int>(slot_type);
+        const auto& pool = pools.at(key);
+        NERGLOB_CHECK(!pool.empty())
+            << "no entities for topic/type " << key << " in KB";
+        const Entity& entity =
+            kb_->entity(pool[rng.NextZipf(pool.size(), spec.zipf_exponent)]);
+        const std::string& alias =
+            entity.aliases[rng.NextBelow(entity.aliases.size())];
+        std::vector<std::string> mention = SplitWhitespace(alias);
+        const size_t begin = words.size();
+        if (rng.NextBernoulli(spec.noise.hashtagify)) {
+          // "#AndyBeshear": one hashtag token covering the whole mention.
+          std::string joined = "#";
+          for (const std::string& w : mention) joined += TitleCase(w);
+          words.push_back(std::move(joined));
+        } else {
+          const double style = rng.NextDouble();
+          for (std::string w : mention) {
+            if (rng.NextBernoulli(spec.noise.typo)) w = ApplyTypo(w, &rng);
+            if (style < spec.noise.lowercase_entity) {
+              // keep lowercase
+            } else if (style < spec.noise.lowercase_entity + spec.noise.uppercase_entity) {
+              w = UpperCase(w);
+            } else {
+              w = TitleCase(w);
+            }
+            words.push_back(std::move(w));
+          }
+        }
+        span_bounds.emplace_back(begin, words.size());
+        span_types.push_back(slot_type);
+      }
+    }
+
+    // Stream decorations.
+    if (rng.NextBernoulli(spec.noise.rt_prefix)) {
+      std::vector<std::string> prefix = {
+          "rt", "@user" + std::to_string(rng.NextBelow(10000)), ":"};
+      words.insert(words.begin(), prefix.begin(), prefix.end());
+      for (auto& [b, e] : span_bounds) {
+        b += 3;
+        e += 3;
+      }
+    }
+    if (rng.NextBernoulli(spec.noise.append_url)) {
+      words.push_back("https://t.co/" + std::to_string(rng.NextBelow(100000)));
+    }
+    if (rng.NextBernoulli(spec.noise.append_emoticon)) {
+      words.push_back(rng.NextBernoulli(0.5) ? ":)" : ":(");
+    }
+
+    stream::Message msg;
+    msg.id = static_cast<int64_t>(m);
+    msg.topic_id = static_cast<int>(message_topic);
+    msg.text = Join(words, " ");
+    msg.tokens = tokenizer.Tokenize(msg.text);
+    NERGLOB_CHECK_EQ(msg.tokens.size(), words.size())
+        << "generator produced a multi-token word in: " << msg.text;
+    for (size_t s = 0; s < span_bounds.size(); ++s) {
+      msg.gold_spans.push_back(
+          {span_bounds[s].first, span_bounds[s].second, span_types[s]});
+    }
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+std::vector<lm::LabeledSentence> ToLabeledSentences(
+    const std::vector<stream::Message>& messages) {
+  std::vector<lm::LabeledSentence> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) {
+    lm::LabeledSentence ex;
+    ex.tokens = msg.tokens;
+    ex.bio = text::EncodeBio(msg.tokens.size(), msg.gold_spans);
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+size_t CountUniqueGoldEntities(const std::vector<stream::Message>& messages) {
+  std::set<std::string> unique;
+  for (const auto& msg : messages) {
+    for (const auto& span : msg.gold_spans) {
+      std::string surface;
+      for (size_t t = span.begin_token; t < span.end_token; ++t) {
+        if (!surface.empty()) surface += ' ';
+        surface += msg.tokens[t].match;
+      }
+      unique.insert(surface + "/" + text::EntityTypeName(span.type));
+    }
+  }
+  return unique.size();
+}
+
+}  // namespace nerglob::data

@@ -1,0 +1,82 @@
+#ifndef NERGLOB_DATA_GENERATOR_H_
+#define NERGLOB_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/knowledge_base.h"
+#include "lm/micro_bert.h"
+#include "stream/message.h"
+
+namespace nerglob::data {
+
+/// Noise channel applied to generated messages; models the non-normative
+/// language of microblogs (casing loss, hashtagification, typos,
+/// elongation, retweet prefixes, URLs, emoticons).
+struct NoiseOptions {
+  double lowercase_entity = 0.55;  ///< entity mention all-lowercase
+  double uppercase_entity = 0.05;  ///< entity mention ALL-CAPS
+  double hashtagify = 0.10;        ///< entity mention -> single #joined token
+  double typo = 0.04;              ///< per entity word: drop/duplicate a char
+  double elongation = 0.04;        ///< per context word: "so" -> "sooo"
+  double rt_prefix = 0.15;         ///< prepend "rt @user :"
+  double append_url = 0.18;        ///< append a t.co-style URL
+  double append_emoticon = 0.12;   ///< append ":)" etc.
+};
+
+/// Recipe for one dataset (Table I row).
+struct DatasetSpec {
+  std::string name;
+  size_t num_messages = 0;
+  std::vector<Topic> topics;
+  /// Zipf exponent over each topic's entity pool. Streaming datasets use a
+  /// high exponent (heavy entity recurrence); non-streaming ones are close
+  /// to uniform.
+  double zipf_exponent = 1.1;
+  /// Relative sampling weight of templates containing ORG/MISC slots.
+  /// The LM training corpus downweights them so the fine-tuned Local NER
+  /// reproduces BERTweet's weakness on those types (Table IV).
+  double org_misc_weight = 1.0;
+  /// Fraction of the template inventory available to this dataset. The
+  /// TRAIN corpus uses < 1 so the evaluation streams contain message
+  /// contexts the fine-tuned model never saw — the domain shift between a
+  /// static training set and a live stream (Sec. I).
+  double template_coverage = 1.0;
+  NoiseOptions noise;
+  uint64_t seed = 1;
+};
+
+/// Version of the synthetic world (bump when the generator, templates or
+/// dataset specs change so cached trained systems are invalidated).
+inline constexpr int kWorldVersion = 8;
+
+/// Named specs for every dataset in the paper (Table I): "D1".."D5",
+/// "WNUT17", "BTC", plus "TRAIN" (the WNUT17-training-set analogue used to
+/// fine-tune Local NER). `scale` in (0,1] shrinks message counts
+/// proportionally for fast test/bench runs.
+DatasetSpec MakeDatasetSpec(const std::string& name, double scale = 1.0);
+
+/// Generates annotated messages for a spec from a knowledge base.
+/// Deterministic in (kb, spec.seed).
+class StreamGenerator {
+ public:
+  explicit StreamGenerator(const KnowledgeBase* kb);
+
+  std::vector<stream::Message> Generate(const DatasetSpec& spec) const;
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+/// Converts gold-annotated messages into LM fine-tuning examples.
+std::vector<lm::LabeledSentence> ToLabeledSentences(
+    const std::vector<stream::Message>& messages);
+
+/// Counts unique gold entity surface strings in a dataset (Table I
+/// "#Entities" column).
+size_t CountUniqueGoldEntities(const std::vector<stream::Message>& messages);
+
+}  // namespace nerglob::data
+
+#endif  // NERGLOB_DATA_GENERATOR_H_

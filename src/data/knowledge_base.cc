@@ -1,0 +1,231 @@
+#include "data/knowledge_base.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace nerglob::data {
+
+const char* TopicName(Topic topic) {
+  switch (topic) {
+    case Topic::kHealth:
+      return "health";
+    case Topic::kPolitics:
+      return "politics";
+    case Topic::kSports:
+      return "sports";
+    case Topic::kEntertainment:
+      return "entertainment";
+    case Topic::kScience:
+      return "science";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using text::EntityType;
+
+const char* const kFirstSyllables[] = {"an", "bel", "cor", "dan", "el",  "fer",
+                                       "gar", "hol", "is",  "jor", "kal", "lan",
+                                       "mar", "nor", "os",  "pet", "quin", "ros",
+                                       "sam", "tor", "ul",  "vic", "wes", "yas"};
+const char* const kSecondSyllables[] = {"a",   "by",  "den", "dra", "el", "ia",
+                                        "ick", "io",  "la",  "lor", "mon", "na",
+                                        "ny",  "ra",  "son", "ta",  "ton", "vin"};
+const char* const kSurnameEnds[] = {"son", "ez", "ini", "berg", "ton", "ley",
+                                    "ard", "man", "ovic", "well", "ford", "by"};
+const char* const kLocSuffixes[] = {"land", "ville", "burg", "ia", "stan",
+                                    "port", "field", "shire", "mont", "bay"};
+const char* const kOrgHeads[] = {"united", "global", "national", "first",
+                                 "royal", "central", "allied", "pacific"};
+const char* const kOrgTails[] = {"corp", "league", "party", "institute",
+                                 "agency", "systems", "network", "fc",
+                                 "labs", "union"};
+const char* const kMiscHeads[] = {"neo", "ultra", "mega", "hyper", "proto",
+                                  "astro", "cyber", "retro"};
+const char* const kMiscTails[] = {"virus", "fever", "storm", "wave", "craft",
+                                  "quest", "beat", "light"};
+
+template <size_t N>
+const char* Pick(const char* const (&arr)[N], Rng* rng) {
+  return arr[rng->NextBelow(N)];
+}
+
+/// Adds standard alias variations for a two-token person name
+/// "first last": full name, last name, first name, "hashtag" joined form.
+std::vector<std::string> PersonAliases(const std::string& first,
+                                       const std::string& last) {
+  return {first + " " + last, last, first + last};
+}
+
+}  // namespace
+
+std::string SynthPersonName(Rng* rng) {
+  std::string first = std::string(Pick(kFirstSyllables, rng)) + Pick(kSecondSyllables, rng);
+  std::string last = std::string(Pick(kFirstSyllables, rng)) + Pick(kSurnameEnds, rng);
+  return first + " " + last;
+}
+
+std::string SynthLocationName(Rng* rng) {
+  return std::string(Pick(kFirstSyllables, rng)) + Pick(kSecondSyllables, rng) +
+         Pick(kLocSuffixes, rng);
+}
+
+std::string SynthOrganizationName(Rng* rng) {
+  return std::string(Pick(kOrgHeads, rng)) + " " + Pick(kFirstSyllables, rng) +
+         Pick(kOrgTails, rng);
+}
+
+std::string SynthMiscName(Rng* rng) {
+  return std::string(Pick(kMiscHeads, rng)) + Pick(kMiscTails, rng);
+}
+
+KnowledgeBase KnowledgeBase::BuildStandard(size_t extra_per_topic_type,
+                                           uint64_t seed) {
+  KnowledgeBase kb;
+  kb.AddCoreEntities();
+  Rng rng(seed);
+  kb.AddProceduralEntities(extra_per_topic_type, &rng);
+  return kb;
+}
+
+KnowledgeBase KnowledgeBase::BuildProceduralOnly(size_t per_topic_type,
+                                                 uint64_t seed) {
+  KnowledgeBase kb;
+  Rng rng(seed);
+  kb.AddProceduralEntities(per_topic_type, &rng);
+  kb.non_entity_homographs_ = {"us", "apple", "fireflies", "corona", "who"};
+  return kb;
+}
+
+void KnowledgeBase::Add(Entity entity) {
+  NERGLOB_CHECK(!entity.aliases.empty()) << "entity needs at least one alias";
+  entities_.push_back(std::move(entity));
+}
+
+std::vector<size_t> KnowledgeBase::EntitiesForTopic(Topic topic) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    if (entities_[i].topic == topic) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> KnowledgeBase::EntitiesForTopicType(
+    Topic topic, text::EntityType type) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    if (entities_[i].topic == topic && entities_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+void KnowledgeBase::AddCoreEntities() {
+  auto add = [this](const std::string& canonical, EntityType type, Topic topic,
+                    std::vector<std::string> extra_aliases) {
+    Entity e;
+    e.canonical = canonical;
+    e.type = type;
+    e.topic = topic;
+    e.aliases = {canonical};
+    for (auto& a : extra_aliases) e.aliases.push_back(std::move(a));
+    Add(std::move(e));
+  };
+
+  // --- Health / Covid stream (the paper's running example, Fig. 1). ---
+  add("coronavirus", EntityType::kMisc, Topic::kHealth, {"covid", "covid19", "corona"});
+  add("andy beshear", EntityType::kPerson, Topic::kHealth, {"beshear", "governor beshear"});
+  add("italy", EntityType::kLocation, Topic::kHealth, {});
+  add("united states", EntityType::kLocation, Topic::kHealth, {"us"});
+  add("canada", EntityType::kLocation, Topic::kHealth, {});
+  add("nhs", EntityType::kOrganization, Topic::kHealth, {});
+  add("world health organization", EntityType::kOrganization, Topic::kHealth, {"who"});
+  add("pfizer", EntityType::kOrganization, Topic::kHealth, {});
+  add("anthony fauci", EntityType::kPerson, Topic::kHealth, {"fauci", "dr fauci"});
+  add("wuhan", EntityType::kLocation, Topic::kHealth, {});
+  add("remdesivir", EntityType::kMisc, Topic::kHealth, {});
+
+  // --- Politics. ---
+  add("donald trump", EntityType::kPerson, Topic::kPolitics, {"trump"});
+  add("justice department", EntityType::kOrganization, Topic::kPolitics, {});
+  add("russian government", EntityType::kOrganization, Topic::kPolitics, {"kremlin"});
+  add("washington", EntityType::kPerson, Topic::kPolitics, {});  // the president
+  add("washington", EntityType::kLocation, Topic::kPolitics, {});  // the state
+  add("white house", EntityType::kOrganization, Topic::kPolitics, {});
+  add("senate", EntityType::kOrganization, Topic::kPolitics, {});
+  add("moscow", EntityType::kLocation, Topic::kPolitics, {});
+  add("brexit", EntityType::kMisc, Topic::kPolitics, {});
+
+  // --- Sports. ---
+  add("michael jordan", EntityType::kPerson, Topic::kSports, {"jordan"});
+  add("jordan", EntityType::kLocation, Topic::kSports, {});  // the country
+  add("lakers", EntityType::kOrganization, Topic::kSports, {});
+  add("madrid", EntityType::kLocation, Topic::kSports, {});
+  add("super bowl", EntityType::kMisc, Topic::kSports, {"superbowl"});
+  add("serena williams", EntityType::kPerson, Topic::kSports, {"serena"});
+  add("fifa", EntityType::kOrganization, Topic::kSports, {});
+
+  // --- Entertainment. ---
+  add("fireflies", EntityType::kMisc, Topic::kEntertainment, {});  // the song
+  add("paris hilton", EntityType::kPerson, Topic::kEntertainment, {"paris"});
+  add("paris", EntityType::kLocation, Topic::kEntertainment, {});  // the city
+  add("netflix", EntityType::kOrganization, Topic::kEntertainment, {});
+  add("taylor swift", EntityType::kPerson, Topic::kEntertainment, {"taylor"});
+  add("hollywood", EntityType::kLocation, Topic::kEntertainment, {});
+  add("star wars", EntityType::kMisc, Topic::kEntertainment, {"starwars"});
+
+  // --- Science. ---
+  add("apple", EntityType::kOrganization, Topic::kScience, {});  // the company
+  add("amazon", EntityType::kOrganization, Topic::kScience, {});  // the company
+  add("amazon", EntityType::kLocation, Topic::kScience, {});      // the river
+  add("nasa", EntityType::kOrganization, Topic::kScience, {});
+  add("elon musk", EntityType::kPerson, Topic::kScience, {"musk", "elon"});
+  add("mars", EntityType::kLocation, Topic::kScience, {});
+  add("starlink", EntityType::kMisc, Topic::kScience, {});
+  add("iphone", EntityType::kMisc, Topic::kScience, {});
+
+  // Non-entity homographs and confusable common words that the generator
+  // uses as O-labeled text ("us" the pronoun, "apple" the fruit, "fireflies"
+  // the insects, "paris" never lowercase-only...). These create the surface
+  // form ambiguity Global NER must resolve (Sec. V-C).
+  non_entity_homographs_ = {"us",    "apple",  "fireflies", "amazon",
+                            "mars",  "corona", "who"};
+}
+
+void KnowledgeBase::AddProceduralEntities(size_t per_topic_type, Rng* rng) {
+  for (int t = 0; t < kNumTopics; ++t) {
+    for (int ty = 0; ty < text::kNumEntityTypes; ++ty) {
+      for (size_t k = 0; k < per_topic_type; ++k) {
+        Entity e;
+        e.topic = static_cast<Topic>(t);
+        e.type = static_cast<EntityType>(ty);
+        switch (e.type) {
+          case EntityType::kPerson: {
+            e.canonical = SynthPersonName(rng);
+            auto parts = SplitWhitespace(e.canonical);
+            e.aliases = PersonAliases(parts[0], parts[1]);
+            e.canonical = e.aliases[0];
+            break;
+          }
+          case EntityType::kLocation:
+            e.canonical = SynthLocationName(rng);
+            e.aliases = {e.canonical};
+            break;
+          case EntityType::kOrganization: {
+            e.canonical = SynthOrganizationName(rng);
+            auto parts = SplitWhitespace(e.canonical);
+            e.aliases = {e.canonical, parts[1]};  // short form
+            break;
+          }
+          case EntityType::kMisc:
+            e.canonical = SynthMiscName(rng);
+            e.aliases = {e.canonical};
+            break;
+        }
+        Add(std::move(e));
+      }
+    }
+  }
+}
+
+}  // namespace nerglob::data

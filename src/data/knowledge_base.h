@@ -1,0 +1,90 @@
+#ifndef NERGLOB_DATA_KNOWLEDGE_BASE_H_
+#define NERGLOB_DATA_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/bio.h"
+
+namespace nerglob::data {
+
+/// Conversation topics for the synthetic streams (Sec. VI: Politics,
+/// Sports, Entertainment, Science and Health).
+enum class Topic {
+  kHealth = 0,
+  kPolitics = 1,
+  kSports = 2,
+  kEntertainment = 3,
+  kScience = 4,
+};
+inline constexpr int kNumTopics = 5;
+const char* TopicName(Topic topic);
+
+/// A real-world entity in the simulated world. `aliases` are the surface
+/// variations its mentions can take; each alias is a lowercased
+/// space-separated token sequence ("andy beshear", "beshear").
+struct Entity {
+  std::string canonical;             ///< primary alias
+  text::EntityType type = text::EntityType::kPerson;
+  Topic topic = Topic::kHealth;
+  std::vector<std::string> aliases;  ///< includes canonical
+};
+
+/// The entity world behind the stream simulator: a handcrafted core
+/// (famous entities + the ambiguity cases the paper discusses: "washington"
+/// PER/LOC, "us" LOC/pronoun, "fireflies" MISC/insect, ...) plus a
+/// procedurally generated long tail so datasets reach paper-scale entity
+/// counts (Table I: up to ~900 unique entities).
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Builds the standard world: core entities + `extra_per_topic_type`
+  /// procedurally named entities for every (topic, type) pair.
+  static KnowledgeBase BuildStandard(size_t extra_per_topic_type, uint64_t seed);
+
+  /// Builds a world with only procedural entities (no core). Used for the
+  /// Local NER training corpus so the evaluation streams are dominated by
+  /// entities the fine-tuned model never saw — the "novel and emerging
+  /// entities" condition of WNUT17.
+  static KnowledgeBase BuildProceduralOnly(size_t per_topic_type, uint64_t seed);
+
+  void Add(Entity entity);
+
+  const std::vector<Entity>& entities() const { return entities_; }
+
+  /// Entities of a topic (any type).
+  std::vector<size_t> EntitiesForTopic(Topic topic) const;
+
+  /// Entities of a topic and type.
+  std::vector<size_t> EntitiesForTopicType(Topic topic,
+                                           text::EntityType type) const;
+
+  const Entity& entity(size_t index) const { return entities_[index]; }
+
+  /// Words that look like entities but are not: non-entity homographs of
+  /// entity surface forms ("us" the pronoun, "apple" the fruit) plus
+  /// ordinary confusable common words. The generator weaves these into
+  /// message text as O-labeled tokens.
+  const std::vector<std::string>& non_entity_homographs() const {
+    return non_entity_homographs_;
+  }
+
+ private:
+  void AddCoreEntities();
+  void AddProceduralEntities(size_t per_topic_type, Rng* rng);
+
+  std::vector<Entity> entities_;
+  std::vector<std::string> non_entity_homographs_;
+};
+
+/// Procedural name generators (exposed for tests).
+std::string SynthPersonName(Rng* rng);
+std::string SynthLocationName(Rng* rng);
+std::string SynthOrganizationName(Rng* rng);
+std::string SynthMiscName(Rng* rng);
+
+}  // namespace nerglob::data
+
+#endif  // NERGLOB_DATA_KNOWLEDGE_BASE_H_

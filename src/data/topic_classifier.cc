@@ -1,0 +1,91 @@
+#include "data/topic_classifier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+
+namespace nerglob::data {
+
+TopicClassifier::TopicClassifier(size_t subword_buckets, size_t dim,
+                                 uint64_t seed)
+    : subwords_(subword_buckets) {
+  Rng rng(seed);
+  table_ = std::make_unique<nn::Embedding>(subword_buckets, dim, &rng);
+  head_ = std::make_unique<nn::Linear>(dim, static_cast<size_t>(kNumTopics), &rng);
+}
+
+ag::Var TopicClassifier::Featurize(const stream::Message& message) const {
+  std::vector<int> ids;
+  for (const auto& token : message.tokens) {
+    // URLs and mentions carry no topical signal.
+    if (token.kind == text::TokenKind::kUrl ||
+        token.kind == text::TokenKind::kMention) {
+      continue;
+    }
+    const auto sub = subwords_.SubwordIds(token.match);
+    ids.insert(ids.end(), sub.begin(), sub.end());
+  }
+  if (ids.empty()) ids.push_back(0);
+  return ag::MeanRows(table_->Forward(ids));
+}
+
+double TopicClassifier::Train(const std::vector<stream::Message>& train,
+                              int epochs, float lr, uint64_t seed) {
+  NERGLOB_CHECK(!train.empty());
+  Rng rng(seed);
+  std::vector<stream::Message> data = train;
+  nn::Adam optimizer(Parameters(), lr);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&data);
+    double epoch_loss = 0.0;
+    size_t i = 0;
+    while (i < data.size()) {
+      optimizer.ZeroGrad();
+      const size_t end = std::min(data.size(), i + 32);
+      std::vector<ag::Var> rows;
+      std::vector<int> labels;
+      for (; i < end; ++i) {
+        rows.push_back(Featurize(data[i]));
+        labels.push_back(data[i].topic_id);
+      }
+      ag::Var loss = ag::CrossEntropyWithLogits(
+          head_->Forward(ag::ConcatRows(rows)), labels);
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.value().At(0, 0) * static_cast<double>(rows.size());
+    }
+    last_loss = epoch_loss / static_cast<double>(data.size());
+  }
+  return last_loss;
+}
+
+Topic TopicClassifier::Predict(const stream::Message& message) const {
+  const Matrix logits = head_->Forward(Featurize(message)).value();
+  int best = 0;
+  for (int t = 1; t < kNumTopics; ++t) {
+    if (logits.At(0, static_cast<size_t>(t)) >
+        logits.At(0, static_cast<size_t>(best))) {
+      best = t;
+    }
+  }
+  return static_cast<Topic>(best);
+}
+
+double TopicClassifier::Evaluate(const std::vector<stream::Message>& test) const {
+  if (test.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& msg : test) {
+    if (static_cast<int>(Predict(msg)) == msg.topic_id) ++correct;
+  }
+  return static_cast<double>(correct) / test.size();
+}
+
+std::vector<ag::Var> TopicClassifier::Parameters() const {
+  std::vector<ag::Var> out = table_->Parameters();
+  for (const ag::Var& p : head_->Parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace nerglob::data

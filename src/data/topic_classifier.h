@@ -1,0 +1,49 @@
+#ifndef NERGLOB_DATA_TOPIC_CLASSIFIER_H_
+#define NERGLOB_DATA_TOPIC_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/knowledge_base.h"
+#include "nn/layers.h"
+#include "stream/message.h"
+#include "text/subword.h"
+
+namespace nerglob::data {
+
+/// Stream-topic classifier — the deployment component the paper sketches in
+/// Sec. VI ("In real-world deployment, a topic classifier could precede an
+/// NER tool launched for streams"): routes incoming messages to the
+/// per-topic NER Globalizer instance.
+///
+/// Model: hashed bag-of-subwords mean embedding + linear softmax over the
+/// kNumTopics topics. Tiny, fast, and accurate on topical streams.
+class TopicClassifier : public nn::Module {
+ public:
+  TopicClassifier(size_t subword_buckets, size_t dim, uint64_t seed);
+
+  /// Trains on topic-labeled messages (message.topic_id). Returns the
+  /// final-epoch mean cross-entropy.
+  double Train(const std::vector<stream::Message>& train, int epochs, float lr,
+               uint64_t seed);
+
+  /// Most likely topic for a message.
+  Topic Predict(const stream::Message& message) const;
+
+  /// Accuracy over a labeled set.
+  double Evaluate(const std::vector<stream::Message>& test) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+ private:
+  /// (1, dim) bag-of-subwords embedding of the message.
+  ag::Var Featurize(const stream::Message& message) const;
+
+  text::HashedSubwordVocab subwords_;
+  std::unique_ptr<nn::Embedding> table_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace nerglob::data
+
+#endif  // NERGLOB_DATA_TOPIC_CLASSIFIER_H_

@@ -1,0 +1,214 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace nerglob::eval {
+
+namespace {
+
+/// (begin, end, type) triple usable as a set key.
+using SpanKey = std::tuple<size_t, size_t, int>;
+
+SpanKey Key(const text::EntitySpan& s) {
+  return {s.begin_token, s.end_token, static_cast<int>(s.type)};
+}
+
+std::set<SpanKey> ToSet(const std::vector<text::EntitySpan>& spans) {
+  std::set<SpanKey> out;
+  for (const auto& s : spans) out.insert(Key(s));
+  return out;
+}
+
+}  // namespace
+
+PrfScores FinalizePrf(size_t tp, size_t fp, size_t fn) {
+  PrfScores s;
+  s.tp = tp;
+  s.fp = fp;
+  s.fn = fn;
+  s.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  s.recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+NerScores EvaluateNer(
+    const std::vector<std::vector<text::EntitySpan>>& gold,
+    const std::vector<std::vector<text::EntitySpan>>& predictions) {
+  NERGLOB_CHECK_EQ(gold.size(), predictions.size());
+  std::array<size_t, text::kNumEntityTypes> tp{}, fp{}, fn{};
+  size_t emd_tp = 0, emd_fp = 0, emd_fn = 0;
+
+  for (size_t m = 0; m < gold.size(); ++m) {
+    const auto gold_set = ToSet(gold[m]);
+    const auto pred_set = ToSet(predictions[m]);
+    for (const auto& [b, e, ty] : pred_set) {
+      if (gold_set.count({b, e, ty})) {
+        ++tp[static_cast<size_t>(ty)];
+      } else {
+        ++fp[static_cast<size_t>(ty)];
+      }
+    }
+    for (const auto& [b, e, ty] : gold_set) {
+      if (!pred_set.count({b, e, ty})) ++fn[static_cast<size_t>(ty)];
+    }
+    // EMD: spans with type stripped.
+    std::set<std::pair<size_t, size_t>> gold_spans, pred_spans;
+    for (const auto& [b, e, ty] : gold_set) gold_spans.insert({b, e});
+    for (const auto& [b, e, ty] : pred_set) pred_spans.insert({b, e});
+    for (const auto& s : pred_spans) {
+      if (gold_spans.count(s)) {
+        ++emd_tp;
+      } else {
+        ++emd_fp;
+      }
+    }
+    for (const auto& s : gold_spans) {
+      if (!pred_spans.count(s)) ++emd_fn;
+    }
+  }
+
+  NerScores out;
+  size_t all_tp = 0, all_fp = 0, all_fn = 0;
+  double macro_sum = 0.0;
+  for (int t = 0; t < text::kNumEntityTypes; ++t) {
+    out.per_type[static_cast<size_t>(t)] =
+        FinalizePrf(tp[static_cast<size_t>(t)], fp[static_cast<size_t>(t)],
+                    fn[static_cast<size_t>(t)]);
+    macro_sum += out.per_type[static_cast<size_t>(t)].f1;
+    all_tp += tp[static_cast<size_t>(t)];
+    all_fp += fp[static_cast<size_t>(t)];
+    all_fn += fn[static_cast<size_t>(t)];
+  }
+  out.macro_f1 = macro_sum / text::kNumEntityTypes;
+  out.micro = FinalizePrf(all_tp, all_fp, all_fn);
+  out.emd = FinalizePrf(emd_tp, emd_fp, emd_fn);
+  return out;
+}
+
+std::string SpanSurface(const stream::Message& message,
+                        const text::EntitySpan& span) {
+  NERGLOB_CHECK_LE(span.end_token, message.tokens.size());
+  std::string surface;
+  for (size_t t = span.begin_token; t < span.end_token; ++t) {
+    if (!surface.empty()) surface += ' ';
+    surface += message.tokens[t].match;
+  }
+  return surface;
+}
+
+std::vector<FrequencyBin> FrequencyBinnedRecall(
+    const std::vector<stream::Message>& messages,
+    const std::vector<std::vector<text::EntitySpan>>& predictions,
+    int bin_width) {
+  NERGLOB_CHECK_EQ(messages.size(), predictions.size());
+  NERGLOB_CHECK_GT(bin_width, 0);
+
+  // Entity identity: (surface, type). Count gold mentions per entity and
+  // recovered (exact span+type match) mentions per entity.
+  std::map<std::pair<std::string, int>, std::pair<size_t, size_t>> per_entity;
+  for (size_t m = 0; m < messages.size(); ++m) {
+    const auto pred_set = ToSet(predictions[m]);
+    for (const auto& span : messages[m].gold_spans) {
+      auto& [total, recovered] =
+          per_entity[{SpanSurface(messages[m], span), static_cast<int>(span.type)}];
+      ++total;
+      if (pred_set.count(Key(span))) ++recovered;
+    }
+  }
+
+  int max_freq = 0;
+  for (const auto& [key, counts] : per_entity) {
+    max_freq = std::max(max_freq, static_cast<int>(counts.first));
+  }
+  std::vector<FrequencyBin> bins;
+  for (int lo = 1; lo <= max_freq; lo += bin_width) {
+    FrequencyBin bin;
+    bin.lo = lo;
+    bin.hi = lo + bin_width - 1;
+    bins.push_back(bin);
+  }
+  for (const auto& [key, counts] : per_entity) {
+    const int freq = static_cast<int>(counts.first);
+    auto& bin = bins[static_cast<size_t>((freq - 1) / bin_width)];
+    bin.gold_mentions += counts.first;
+    bin.recovered_mentions += counts.second;
+  }
+  for (auto& bin : bins) {
+    bin.recall = bin.gold_mentions > 0
+                     ? static_cast<double>(bin.recovered_mentions) / bin.gold_mentions
+                     : 0.0;
+  }
+  return bins;
+}
+
+ErrorAnalysis AnalyzeErrors(
+    const std::vector<stream::Message>& messages,
+    const std::vector<std::vector<text::EntitySpan>>& predictions) {
+  NERGLOB_CHECK_EQ(messages.size(), predictions.size());
+  ErrorAnalysis out;
+
+  std::map<std::pair<std::string, int>, std::pair<size_t, size_t>> per_entity;
+  for (size_t m = 0; m < messages.size(); ++m) {
+    const auto pred_set = ToSet(predictions[m]);
+    std::set<std::pair<size_t, size_t>> pred_span_types_stripped;
+    std::map<std::pair<size_t, size_t>, int> pred_type_by_span;
+    for (const auto& p : predictions[m]) {
+      pred_type_by_span[{p.begin_token, p.end_token}] = static_cast<int>(p.type);
+    }
+    for (const auto& span : messages[m].gold_spans) {
+      ++out.total_gold_mentions;
+      auto& [total, recovered] =
+          per_entity[{SpanSurface(messages[m], span), static_cast<int>(span.type)}];
+      ++total;
+      if (pred_set.count(Key(span))) {
+        ++recovered;
+      } else {
+        auto it = pred_type_by_span.find({span.begin_token, span.end_token});
+        if (it != pred_type_by_span.end() &&
+            it->second != static_cast<int>(span.type)) {
+          ++out.mistyped_mentions;
+        }
+      }
+    }
+  }
+  out.total_gold_entities = per_entity.size();
+  for (const auto& [key, counts] : per_entity) {
+    if (counts.second == 0) {
+      ++out.entirely_missed_entities;
+      out.mentions_of_entirely_missed_entities += counts.first;
+    }
+  }
+  return out;
+}
+
+TypeConfusionMatrix ComputeTypeConfusion(
+    const std::vector<std::vector<text::EntitySpan>>& gold,
+    const std::vector<std::vector<text::EntitySpan>>& predictions) {
+  NERGLOB_CHECK_EQ(gold.size(), predictions.size());
+  TypeConfusionMatrix confusion{};
+  for (size_t m = 0; m < gold.size(); ++m) {
+    std::map<std::pair<size_t, size_t>, int> pred_type_by_span;
+    for (const auto& p : predictions[m]) {
+      pred_type_by_span[{p.begin_token, p.end_token}] = static_cast<int>(p.type);
+    }
+    for (const auto& g : gold[m]) {
+      auto it = pred_type_by_span.find({g.begin_token, g.end_token});
+      const size_t row = static_cast<size_t>(g.type);
+      if (it == pred_type_by_span.end()) {
+        ++confusion[row][text::kNumEntityTypes];  // missed column
+      } else {
+        ++confusion[row][static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  return confusion;
+}
+
+}  // namespace nerglob::eval

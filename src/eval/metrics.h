@@ -1,0 +1,94 @@
+#ifndef NERGLOB_EVAL_METRICS_H_
+#define NERGLOB_EVAL_METRICS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "stream/message.h"
+#include "text/bio.h"
+
+namespace nerglob::eval {
+
+/// Precision/recall/F1 with the raw counts behind them.
+struct PrfScores {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Fills precision/recall/f1 from tp/fp/fn (0 when undefined).
+PrfScores FinalizePrf(size_t tp, size_t fp, size_t fn);
+
+/// Entity-level NER scores: exact span + exact type match (the WNUT17
+/// "F1 (entity)" convention, Sec. VI "Performance Metrics").
+struct NerScores {
+  std::array<PrfScores, text::kNumEntityTypes> per_type;
+  PrfScores micro;   ///< pooled over all types
+  double macro_f1 = 0.0;
+  /// EMD-only scores: exact span match, type ignored (Sec. VI-D).
+  PrfScores emd;
+};
+
+/// Evaluates predictions against gold. Outer index = message; inner =
+/// spans in that message. Duplicate predicted spans are deduplicated.
+NerScores EvaluateNer(
+    const std::vector<std::vector<text::EntitySpan>>& gold,
+    const std::vector<std::vector<text::EntitySpan>>& predictions);
+
+/// One bar of Fig. 4: gold entities whose stream-wide mention count falls
+/// in [lo, hi] and the recall of their mentions.
+struct FrequencyBin {
+  int lo = 0;
+  int hi = 0;
+  size_t gold_mentions = 0;
+  size_t recovered_mentions = 0;
+  double recall = 0.0;
+};
+
+/// Groups gold entities (surface+type) by mention frequency in bins of
+/// `bin_width` (paper uses 5) and reports per-bin mention recall.
+std::vector<FrequencyBin> FrequencyBinnedRecall(
+    const std::vector<stream::Message>& messages,
+    const std::vector<std::vector<text::EntitySpan>>& predictions,
+    int bin_width = 5);
+
+/// Sec. VI-C error taxonomy.
+struct ErrorAnalysis {
+  size_t total_gold_mentions = 0;
+  size_t total_gold_entities = 0;  ///< unique (surface, type)
+  /// Mentions belonging to entities of which *no* mention was predicted
+  /// anywhere in the dataset (error class 1: lost before Global NER).
+  size_t mentions_of_entirely_missed_entities = 0;
+  size_t entirely_missed_entities = 0;
+  /// Mentions predicted with the right span but the wrong type
+  /// (error class 2: Entity Classifier mistyping).
+  size_t mistyped_mentions = 0;
+};
+
+ErrorAnalysis AnalyzeErrors(
+    const std::vector<stream::Message>& messages,
+    const std::vector<std::vector<text::EntitySpan>>& predictions);
+
+/// Type confusion matrix over exact-span matches: rows = gold type,
+/// columns = predicted type, plus a final "missed" column (row sums =
+/// gold mentions per type). Row-major (kNumEntityTypes x
+/// (kNumEntityTypes + 1)).
+using TypeConfusionMatrix =
+    std::array<std::array<size_t, text::kNumEntityTypes + 1>,
+               text::kNumEntityTypes>;
+
+TypeConfusionMatrix ComputeTypeConfusion(
+    const std::vector<std::vector<text::EntitySpan>>& gold,
+    const std::vector<std::vector<text::EntitySpan>>& predictions);
+
+/// Extracts the lowercased surface string of a span ("andy beshear").
+std::string SpanSurface(const stream::Message& message,
+                        const text::EntitySpan& span);
+
+}  // namespace nerglob::eval
+
+#endif  // NERGLOB_EVAL_METRICS_H_

@@ -1,0 +1,289 @@
+#include "harness/experiment.h"
+
+#include <array>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nerglob::harness {
+
+namespace {
+
+/// Hash of all options that affect trained parameters (the cache key).
+std::string OptionsKey(const BuildOptions& o) {
+  std::ostringstream os;
+  os << data::kWorldVersion << '|' << o.scale << '|'
+     << static_cast<int>(o.objective) << '|'
+     << o.lm_config.d_model << '|' << o.lm_config.num_heads << '|'
+     << o.lm_config.num_layers << '|' << o.lm_config.ff_mult << '|'
+     << o.lm_config.max_seq_len << '|' << o.lm_config.subword_buckets << '|'
+     << o.lm_config.dropout << '|' << o.pretrain_epochs << '|'
+     << o.lm_epochs << '|'
+     << o.kb_entities_per_topic_type << '|' << o.max_triplets << '|'
+     << o.embedder_epochs << '|' << o.classifier_epochs << '|'
+     << o.classifier_hidden << '|' << static_cast<int>(o.pooling) << '|'
+     << o.normalize_embedder << '|' << o.subset_augmentation << '|' << o.seed;
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(Fnv1aHash(os.str())));
+}
+
+constexpr size_t kNumAux = 8;
+
+void SaveParams(const std::string& path, const std::vector<ag::Var>& params,
+                const std::array<double, kNumAux>& aux) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return;
+  const uint64_t n = params.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(aux.data()),
+            static_cast<std::streamsize>(aux.size() * sizeof(double)));
+  for (const ag::Var& p : params) WriteMatrix(out, p.value());
+}
+
+bool LoadParams(const std::string& path, std::vector<ag::Var>* params,
+                std::array<double, kNumAux>* aux) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n != params->size()) return false;
+  in.read(reinterpret_cast<char*>(aux->data()),
+          static_cast<std::streamsize>(aux->size() * sizeof(double)));
+  for (ag::Var& p : *params) {
+    Matrix m = ReadMatrix(in);
+    if (!in || m.rows() != p.rows() || m.cols() != p.cols()) return false;
+    p.mutable_value() = std::move(m);
+  }
+  return true;
+}
+
+}  // namespace
+
+double DefaultScale() {
+  if (const char* env = std::getenv("NERGLOB_SCALE"); env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return 0.25;
+}
+
+std::string DefaultCacheDir() {
+  if (const char* env = std::getenv("NERGLOB_CACHE_DIR"); env != nullptr) {
+    return std::string(env) == "none" ? std::string() : std::string(env);
+  }
+  return "nerglob_cache";
+}
+
+TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
+  TrainedSystem system;
+  system.lm_config = options.lm_config;
+  system.cluster_threshold = options.cluster_threshold;
+  system.kb_train = data::KnowledgeBase::BuildProceduralOnly(
+      options.kb_entities_per_topic_type, options.seed * 31 + 1);
+  system.kb_eval = data::KnowledgeBase::BuildStandard(
+      options.kb_entities_per_topic_type, options.seed * 31 + 2);
+  system.model =
+      std::make_unique<lm::MicroBert>(options.lm_config, options.seed * 31 + 3);
+  Rng rng(options.seed * 31 + 4);
+  system.embedder = std::make_unique<core::PhraseEmbedder>(
+      options.lm_config.d_model, &rng, options.normalize_embedder);
+  system.classifier = std::make_unique<core::EntityClassifier>(
+      options.lm_config.d_model, options.classifier_hidden, &rng,
+      options.pooling);
+
+  // Cache lookup: all trained parameters in one blob.
+  std::string cache_path;
+  std::vector<ag::Var> all_params = system.model->Parameters();
+  for (const ag::Var& p : system.embedder->Parameters()) all_params.push_back(p);
+  for (const ag::Var& p : system.classifier->Parameters()) all_params.push_back(p);
+  if (!options.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+    cache_path = options.cache_dir + "/system_" + OptionsKey(options) + ".bin";
+    std::array<double, kNumAux> aux{};
+    if (LoadParams(cache_path, &all_params, &aux)) {
+      system.fine_tune_loss = aux[0];
+      system.embedder_result.train_loss = aux[1];
+      system.embedder_result.validation_loss = aux[2];
+      system.embedder_result.dataset_size = static_cast<size_t>(aux[3]);
+      system.embedder_result.epochs_run = static_cast<int>(aux[4]);
+      system.classifier_result.validation_macro_f1 = aux[5];
+      system.classifier_result.num_candidates = static_cast<size_t>(aux[6]);
+      system.d5_mention_examples = static_cast<size_t>(aux[7]);
+      return system;
+    }
+  }
+
+  NERGLOB_LOG(kInfo) << "training system (cache miss): scale " << options.scale
+                     << ", d_model " << options.lm_config.d_model;
+
+  // 0. Optional masked-LM pretraining on unlabeled text from both worlds.
+  data::StreamGenerator train_gen(&system.kb_train);
+  if (options.pretrain_epochs > 0) {
+    data::StreamGenerator eval_world_gen(&system.kb_eval);
+    std::vector<std::vector<text::Token>> corpus;
+    for (const auto& msg :
+         train_gen.Generate(data::MakeDatasetSpec("TRAIN", options.scale))) {
+      corpus.push_back(msg.tokens);
+    }
+    for (const auto& msg :
+         eval_world_gen.Generate(data::MakeDatasetSpec("BTC", options.scale))) {
+      corpus.push_back(msg.tokens);  // unlabeled usage: tokens only
+    }
+    lm::PretrainOptions po;
+    po.epochs = options.pretrain_epochs;
+    po.seed = options.seed * 31 + 9;
+    lm::PretrainMlm(system.model.get(), corpus, po);
+  }
+
+  // 1. Fine-tune Local NER on the TRAIN corpus (procedural world).
+  auto train_msgs = train_gen.Generate(data::MakeDatasetSpec("TRAIN", options.scale));
+  lm::FineTuneOptions ft;
+  ft.epochs = options.lm_epochs;
+  ft.seed = options.seed * 31 + 5;
+  system.fine_tune_loss =
+      lm::FineTuneForNer(system.model.get(),
+                         data::ToLabeledSentences(train_msgs), ft);
+
+  // 2. Collect D5 mention examples (eval world) for Global NER training.
+  data::StreamGenerator eval_gen(&system.kb_eval);
+  auto d5 = eval_gen.Generate(data::MakeDatasetSpec("D5", options.scale));
+  auto examples = core::CollectMentionExamples(d5, *system.model);
+  system.d5_mention_examples = examples.size();
+
+  // 3. Train the Phrase Embedder with the chosen contrastive objective.
+  core::EmbedderTrainOptions eo;
+  eo.objective = options.objective;
+  eo.max_epochs = options.embedder_epochs;
+  eo.max_triplets = options.max_triplets;
+  eo.seed = options.seed * 31 + 6;
+  system.embedder_result =
+      core::TrainPhraseEmbedder(system.embedder.get(), examples, eo);
+
+  // 4. Train the Entity Classifier on ground-truth clusters.
+  core::ClassifierTrainOptions co;
+  co.max_epochs = options.classifier_epochs;
+  co.subset_augmentation = options.subset_augmentation;
+  co.seed = options.seed * 31 + 7;
+  system.classifier_result = core::TrainEntityClassifier(
+      system.classifier.get(), *system.embedder, examples, co);
+  NERGLOB_LOG(kInfo) << "trained: LM loss " << system.fine_tune_loss
+                     << ", embedder val " << system.embedder_result.validation_loss
+                     << ", classifier val macro-F1 "
+                     << system.classifier_result.validation_macro_f1;
+
+  if (!cache_path.empty()) {
+    SaveParams(cache_path, all_params,
+               {system.fine_tune_loss, system.embedder_result.train_loss,
+                system.embedder_result.validation_loss,
+                static_cast<double>(system.embedder_result.dataset_size),
+                static_cast<double>(system.embedder_result.epochs_run),
+                system.classifier_result.validation_macro_f1,
+                static_cast<double>(system.classifier_result.num_candidates),
+                static_cast<double>(system.d5_mention_examples)});
+  }
+  return system;
+}
+
+DatasetRun RunDataset(const TrainedSystem& system, const std::string& dataset,
+                      double scale, size_t batch_size) {
+  DatasetRun run;
+  run.dataset = dataset;
+  data::StreamGenerator gen(&system.kb_eval);
+  run.messages = gen.Generate(data::MakeDatasetSpec(dataset, scale));
+
+  core::NerGlobalizerConfig config;
+  config.cluster_threshold = system.cluster_threshold;
+  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
+                               system.classifier.get(), config);
+  pipeline.ProcessAll(run.messages, batch_size);
+  NERGLOB_CHECK_EQ(pipeline.message_ids().size(), run.messages.size())
+      << "prediction/message misalignment";
+
+  const auto gold = GoldSpans(run.messages);
+  for (int s = 0; s < 4; ++s) {
+    run.stage_predictions[static_cast<size_t>(s)] =
+        pipeline.Predictions(static_cast<core::PipelineStage>(s));
+    run.stage_scores[static_cast<size_t>(s)] =
+        eval::EvaluateNer(gold, run.stage_predictions[static_cast<size_t>(s)]);
+  }
+  run.emd_globalizer_predictions = pipeline.EmdGlobalizerPredictions();
+  run.emd_globalizer_scores =
+      eval::EvaluateNer(gold, run.emd_globalizer_predictions);
+  run.local_seconds = pipeline.local_seconds();
+  run.global_seconds = pipeline.global_seconds();
+  return run;
+}
+
+BaselineSuite BuildBaselines(const TrainedSystem& system,
+                             const BuildOptions& options) {
+  BaselineSuite suite;
+  baselines::AguilarNer::Config aguilar_cfg;
+  suite.aguilar =
+      std::make_unique<baselines::AguilarNer>(aguilar_cfg, options.seed * 97 + 1);
+  suite.bert_ner = std::make_unique<baselines::BertNer>(options.lm_config,
+                                                        options.seed * 97 + 2);
+  suite.akbik = std::make_unique<baselines::AkbikPooledNer>(system.model.get(),
+                                                            options.seed * 97 + 3);
+  suite.hire = std::make_unique<baselines::HireNer>(system.model.get(),
+                                                    options.seed * 97 + 4);
+  suite.docl = std::make_unique<baselines::DoclNer>(system.model.get());
+
+  // Cache: Aguilar + BertNer + Akbik/HIRE heads in one blob.
+  std::vector<ag::Var> params = suite.aguilar->Parameters();
+  {
+    auto more = suite.bert_ner->model().Parameters();
+    params.insert(params.end(), more.begin(), more.end());
+  }
+  // Akbik/HIRE heads are private; retrain them cheaply every run instead of
+  // exposing internals — their training is two quick head-only passes.
+  std::string cache_path;
+  if (!options.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+    cache_path =
+        options.cache_dir + "/baselines_" + OptionsKey(options) + ".bin";
+  }
+  data::StreamGenerator train_gen(&system.kb_train);
+  auto train_msgs =
+      train_gen.Generate(data::MakeDatasetSpec("TRAIN", options.scale));
+  auto train_set = data::ToLabeledSentences(train_msgs);
+
+  std::array<double, kNumAux> aux{};
+  bool loaded = !cache_path.empty() && LoadParams(cache_path, &params, &aux);
+  if (!loaded) {
+    suite.aguilar->Train(train_set, options.lm_epochs, 2e-3f,
+                         options.seed * 97 + 5);
+    auto clean_msgs = train_gen.Generate(
+        data::MakeDatasetSpec("TRAIN_CLEAN", options.scale));
+    lm::FineTuneOptions ft;
+    ft.epochs = options.lm_epochs;
+    ft.seed = options.seed * 97 + 6;
+    suite.bert_ner->Train(data::ToLabeledSentences(clean_msgs), ft);
+    if (!cache_path.empty()) SaveParams(cache_path, params, {});
+  }
+  // Head-only training for the memory baselines (fast; not cached).
+  suite.akbik->Train(train_set, /*epochs=*/2, 2e-3f, options.seed * 97 + 7);
+  suite.hire->Train(train_set, /*epochs=*/2, 2e-3f, options.seed * 97 + 8);
+  return suite;
+}
+
+eval::NerScores ScoreBaseline(baselines::NerBaseline* baseline,
+                              const std::vector<stream::Message>& messages) {
+  return eval::EvaluateNer(GoldSpans(messages), baseline->Predict(messages));
+}
+
+std::vector<std::vector<text::EntitySpan>> GoldSpans(
+    const std::vector<stream::Message>& messages) {
+  std::vector<std::vector<text::EntitySpan>> gold;
+  gold.reserve(messages.size());
+  for (const auto& m : messages) gold.push_back(m.gold_spans);
+  return gold;
+}
+
+}  // namespace nerglob::harness

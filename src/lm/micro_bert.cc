@@ -1,0 +1,230 @@
+#include "lm/micro_bert.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "nn/optimizer.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::lm {
+
+namespace {
+
+constexpr size_t kNumTokenKinds = 7;
+
+/// Matching form used for subword lookup: normalized (elongation-squeezed)
+/// match text; URLs and mentions collapse to sentinel words so the model
+/// learns one representation per class.
+std::string LookupForm(const text::Token& token) {
+  switch (token.kind) {
+    case text::TokenKind::kUrl:
+      return "<url>";
+    case text::TokenKind::kMention:
+      return "<mention>";
+    case text::TokenKind::kNumber:
+      return "<number>";
+    default:
+      return text::SqueezeElongation(token.match);
+  }
+}
+
+}  // namespace
+
+MicroBert::MicroBert(const MicroBertConfig& config, uint64_t seed)
+    : config_(config), subwords_(config.subword_buckets), dropout_rng_(seed ^ 0x9e37ULL) {
+  Rng rng(seed);
+  subword_table_ = std::make_unique<nn::Embedding>(config.subword_buckets,
+                                                   config.d_model, &rng);
+  position_table_ =
+      std::make_unique<nn::Embedding>(config.max_seq_len, config.d_model, &rng);
+  kind_table_ =
+      std::make_unique<nn::Embedding>(kNumTokenKinds, config.d_model, &rng);
+  for (size_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        config.d_model, config.num_heads, config.ff_mult, config.dropout, &rng));
+  }
+  final_norm_ = std::make_unique<nn::LayerNorm>(config.d_model);
+  head_ = std::make_unique<nn::Linear>(config.d_model,
+                                       static_cast<size_t>(config.num_labels), &rng);
+}
+
+ag::Var MicroBert::EmbedTokens(const std::vector<text::Token>& tokens) const {
+  const size_t t_len = std::min(tokens.size(), config_.max_seq_len);
+  NERGLOB_CHECK_GT(t_len, 0u);
+  std::vector<ag::Var> rows;
+  rows.reserve(t_len);
+  std::vector<int> positions(t_len);
+  std::vector<int> kinds(t_len);
+  for (size_t t = 0; t < t_len; ++t) {
+    const std::vector<int> sub_ids = subwords_.SubwordIds(LookupForm(tokens[t]));
+    // Token embedding = mean of its subword bucket embeddings.
+    rows.push_back(ag::MeanRows(subword_table_->Forward(sub_ids)));
+    positions[t] = static_cast<int>(t);
+    kinds[t] = static_cast<int>(tokens[t].kind);
+  }
+  ag::Var x = ag::ConcatRows(rows);
+  x = ag::Add(x, position_table_->Forward(positions));
+  x = ag::Add(x, kind_table_->Forward(kinds));
+  return x;
+}
+
+MicroBert::ForwardResult MicroBert::Forward(
+    const std::vector<text::Token>& tokens, bool training,
+    Rng* dropout_rng) const {
+  ag::Var x = EmbedTokens(tokens);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, training, dropout_rng);
+  }
+  ag::Var embeddings = final_norm_->Forward(x);
+  ag::Var logits = head_->Forward(embeddings);
+  return {embeddings, logits};
+}
+
+EncodeResult MicroBert::Encode(const std::vector<text::Token>& tokens) const {
+  ForwardResult fwd = Forward(tokens, /*training=*/false, &dropout_rng_);
+  EncodeResult out;
+  out.embeddings = fwd.embeddings.value();
+  out.logits = fwd.logits.value();
+  const Matrix& logits = out.logits;
+  out.bio_labels.resize(logits.rows(), text::kBioOutside);
+  for (size_t t = 0; t < logits.rows(); ++t) {
+    const float* row = logits.Row(t);
+    int best = 0;
+    for (int c = 1; c < config_.num_labels; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out.bio_labels[t] = best;
+  }
+  // Tokens beyond max_seq_len were truncated by the encoder; pad labels
+  // with O so the caller sees one label per input token.
+  out.bio_labels.resize(tokens.size(), text::kBioOutside);
+  return out;
+}
+
+std::vector<ag::Var> MicroBert::Parameters() const {
+  std::vector<ag::Var> out;
+  auto append = [&out](const std::vector<ag::Var>& ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  append(subword_table_->Parameters());
+  append(position_table_->Parameters());
+  append(kind_table_->Parameters());
+  for (const auto& layer : layers_) append(layer->Parameters());
+  append(final_norm_->Parameters());
+  append(head_->Parameters());
+  return out;
+}
+
+double FineTuneForNer(MicroBert* model, std::vector<LabeledSentence> train,
+                      const FineTuneOptions& options) {
+  NERGLOB_CHECK(!train.empty());
+  Rng rng(options.seed);
+  nn::Adam optimizer(model->Parameters(), options.lr);
+  const size_t steps_per_epoch =
+      (train.size() + options.batch_size - 1) / options.batch_size;
+  const nn::LinearWarmupSchedule schedule(
+      options.lr, steps_per_epoch * static_cast<size_t>(options.epochs),
+      options.warmup_fraction);
+  size_t global_step = 0;
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&train);
+    double epoch_loss = 0.0;
+    size_t steps = 0;
+    size_t i = 0;
+    while (i < train.size()) {
+      if (options.warmup_fraction > 0.0) {
+        optimizer.set_lr(schedule.LearningRate(global_step));
+      }
+      ++global_step;
+      optimizer.ZeroGrad();
+      const size_t batch_end = std::min(train.size(), i + options.batch_size);
+      double batch_loss = 0.0;
+      for (; i < batch_end; ++i) {
+        const LabeledSentence& ex = train[i];
+        if (ex.tokens.empty()) continue;
+        auto fwd = model->Forward(ex.tokens, /*training=*/true, &rng);
+        std::vector<int> bio = ex.bio;
+        bio.resize(fwd.logits.rows());  // align with truncation
+        ag::Var loss = ag::CrossEntropyWithLogits(fwd.logits, bio);
+        loss.Backward();
+        batch_loss += loss.value().At(0, 0);
+      }
+      nn::ClipGradNorm(optimizer.params(), options.clip_norm);
+      optimizer.Step();
+      epoch_loss += batch_loss;
+      ++steps;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(train.size());
+    (void)steps;
+  }
+  return last_epoch_loss;
+}
+
+double PretrainMlm(MicroBert* model,
+                   const std::vector<std::vector<text::Token>>& corpus,
+                   const PretrainOptions& options) {
+  NERGLOB_CHECK(!corpus.empty());
+  Rng rng(options.seed);
+  const size_t prediction_buckets =
+      std::min<size_t>(model->config().subword_buckets, 2048);
+  nn::Linear head(model->config().d_model, prediction_buckets, &rng);
+
+  std::vector<ag::Var> params = model->Parameters();
+  for (const ag::Var& p : head.Parameters()) params.push_back(p);
+  nn::Adam optimizer(params, options.lr);
+
+  std::vector<size_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t counted = 0;
+    size_t i = 0;
+    while (i < order.size()) {
+      optimizer.ZeroGrad();
+      const size_t end = std::min(order.size(), i + options.batch_size);
+      for (; i < end; ++i) {
+        const auto& sentence = corpus[order[i]];
+        if (sentence.size() < 2) continue;
+        // Mask ~15% of tokens (at least one).
+        std::vector<text::Token> masked = sentence;
+        std::vector<int> positions;
+        std::vector<int> targets;
+        const size_t limit =
+            std::min(sentence.size(), model->config().max_seq_len);
+        for (size_t t = 0; t < limit; ++t) {
+          if (!rng.NextBernoulli(options.mask_probability)) continue;
+          positions.push_back(static_cast<int>(t));
+          targets.push_back(static_cast<int>(
+              Fnv1aHash(sentence[t].match) % prediction_buckets));
+          masked[t].match = "<mask>";
+          masked[t].kind = text::TokenKind::kWord;
+        }
+        if (positions.empty()) {
+          const size_t t = rng.NextBelow(limit);
+          positions.push_back(static_cast<int>(t));
+          targets.push_back(static_cast<int>(
+              Fnv1aHash(sentence[t].match) % prediction_buckets));
+          masked[t].match = "<mask>";
+          masked[t].kind = text::TokenKind::kWord;
+        }
+        auto fwd = model->Forward(masked, /*training=*/true, &rng);
+        ag::Var picked = ag::GatherRows(fwd.embeddings, positions);
+        ag::Var loss = ag::CrossEntropyWithLogits(head.Forward(picked), targets);
+        loss.Backward();
+        epoch_loss += loss.value().At(0, 0);
+        ++counted;
+      }
+      nn::ClipGradNorm(optimizer.params(), options.clip_norm);
+      optimizer.Step();
+    }
+    last_epoch_loss = counted > 0 ? epoch_loss / static_cast<double>(counted) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace nerglob::lm

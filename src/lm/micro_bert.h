@@ -1,0 +1,125 @@
+#ifndef NERGLOB_LM_MICRO_BERT_H_
+#define NERGLOB_LM_MICRO_BERT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "text/bio.h"
+#include "text/subword.h"
+#include "text/token.h"
+
+namespace nerglob::lm {
+
+/// Configuration for the MicroBert encoder. Defaults are sized for CPU
+/// experiments; see DESIGN.md for the BERTweet substitution rationale.
+struct MicroBertConfig {
+  size_t d_model = 64;
+  size_t num_heads = 4;
+  size_t num_layers = 2;
+  size_t ff_mult = 2;
+  size_t max_seq_len = 48;
+  size_t subword_buckets = 4096;
+  float dropout = 0.1f;
+  int num_labels = text::kNumBioLabels;
+};
+
+/// Eval-mode output of the encoder for one sentence.
+struct EncodeResult {
+  /// (T, d_model) contextual token embeddings — the "entity-aware token
+  /// embeddings" stored in the TweetBase (Sec. III step 2): the encoder's
+  /// final-layer output *before* the token-classification head.
+  Matrix embeddings;
+  /// (T, num_labels) classification logits.
+  Matrix logits;
+  /// Argmax BIO label per token.
+  std::vector<int> bio_labels;
+};
+
+/// A from-scratch transformer encoder with a BIO token-classification head:
+/// hashed-subword input embeddings + learned positions + token-kind
+/// embeddings, `num_layers` pre-LN encoder layers, a final LayerNorm, and a
+/// linear head. Plays the role of BERTweet in the paper's Local NER step.
+class MicroBert : public nn::Module {
+ public:
+  MicroBert(const MicroBertConfig& config, uint64_t seed);
+
+  /// Training-mode forward; both outputs participate in the graph.
+  struct ForwardResult {
+    ag::Var embeddings;  ///< (T, d_model)
+    ag::Var logits;      ///< (T, num_labels)
+  };
+  ForwardResult Forward(const std::vector<text::Token>& tokens, bool training,
+                        Rng* dropout_rng) const;
+
+  /// Eval-mode encoding with argmax labels.
+  EncodeResult Encode(const std::vector<text::Token>& tokens) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  const MicroBertConfig& config() const { return config_; }
+
+ private:
+  /// Builds the (T, d) input embedding matrix for a token sequence.
+  ag::Var EmbedTokens(const std::vector<text::Token>& tokens) const;
+
+  MicroBertConfig config_;
+  text::HashedSubwordVocab subwords_;
+  std::unique_ptr<nn::Embedding> subword_table_;
+  std::unique_ptr<nn::Embedding> position_table_;
+  std::unique_ptr<nn::Embedding> kind_table_;
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::unique_ptr<nn::LayerNorm> final_norm_;
+  std::unique_ptr<nn::Linear> head_;
+  mutable Rng dropout_rng_;
+};
+
+/// One training example for NER fine-tuning.
+struct LabeledSentence {
+  std::vector<text::Token> tokens;
+  std::vector<int> bio;  ///< gold BIO label per token
+};
+
+/// Options for FineTuneForNer.
+struct FineTuneOptions {
+  int epochs = 6;
+  size_t batch_size = 8;   ///< sentences per optimizer step
+  float lr = 1e-3f;
+  float clip_norm = 5.0f;
+  /// > 0 enables the BERT warmup + linear-decay schedule with this warmup
+  /// fraction; 0 keeps a constant learning rate.
+  double warmup_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Fine-tunes the encoder + head end-to-end with token-level cross-entropy
+/// (the standard BERT NER recipe, Sec. IV). Returns the mean training loss
+/// of the final epoch.
+double FineTuneForNer(MicroBert* model, std::vector<LabeledSentence> train,
+                      const FineTuneOptions& options);
+
+/// Options for masked-language-model pretraining.
+struct PretrainOptions {
+  int epochs = 2;
+  size_t batch_size = 8;
+  float lr = 1e-3f;
+  float mask_probability = 0.15f;  ///< BERT's masking rate
+  float clip_norm = 5.0f;
+  uint64_t seed = 3;
+};
+
+/// Masked-language-model pretraining on unlabeled sentences ("in practice
+/// the language model is pre-trained [by] unsupervised learning of language
+/// representations from large text corpora", Sec. IV). Masked tokens are
+/// replaced by a <mask> sentinel; the objective predicts each masked
+/// token's whole-word hash bucket with a projection head that is discarded
+/// afterwards (only the encoder keeps the learning). Returns the mean loss
+/// of the final epoch.
+double PretrainMlm(MicroBert* model,
+                   const std::vector<std::vector<text::Token>>& corpus,
+                   const PretrainOptions& options);
+
+}  // namespace nerglob::lm
+
+#endif  // NERGLOB_LM_MICRO_BERT_H_

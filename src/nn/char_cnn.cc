@@ -1,0 +1,39 @@
+#include "nn/char_cnn.h"
+
+namespace nerglob::nn {
+
+CharCnn::CharCnn(size_t char_dim, size_t num_filters, Rng* rng)
+    : char_dim_(char_dim),
+      num_filters_(num_filters),
+      char_embedding_(kAlphabetSize, char_dim, rng),
+      conv_(3 * char_dim, num_filters, rng) {}
+
+ag::Var CharCnn::Forward(const std::string& word) const {
+  if (word.empty()) return ag::Constant(Matrix(1, num_filters_));
+  std::vector<int> ids;
+  ids.reserve(word.size());
+  for (char ch : word) {
+    ids.push_back(static_cast<unsigned char>(ch) % kAlphabetSize);
+  }
+  ag::Var chars = char_embedding_.Forward(ids);  // (L, char_dim)
+  // Width-3 windows with zero padding at both ends: row t gets
+  // [e_{t-1}; e_t; e_{t+1}].
+  const size_t len = ids.size();
+  ag::Var zero = ag::Constant(Matrix(1, char_dim_));
+  ag::Var padded =
+      len > 0 ? ag::ConcatRows({zero, chars, zero}) : zero;
+  ag::Var left = ag::SliceRows(padded, 0, len);
+  ag::Var mid = ag::SliceRows(padded, 1, len);
+  ag::Var right = ag::SliceRows(padded, 2, len);
+  ag::Var windows = ag::ConcatCols({left, mid, right});  // (L, 3*char_dim)
+  ag::Var feat = ag::Relu(conv_.Forward(windows));       // (L, filters)
+  return ag::MaxOverRows(feat);                          // (1, filters)
+}
+
+std::vector<ag::Var> CharCnn::Parameters() const {
+  std::vector<ag::Var> out = char_embedding_.Parameters();
+  for (const ag::Var& p : conv_.Parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace nerglob::nn

@@ -1,0 +1,36 @@
+#ifndef NERGLOB_NN_CHAR_CNN_H_
+#define NERGLOB_NN_CHAR_CNN_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nerglob::nn {
+
+/// Character-level CNN producing a fixed-size feature vector per word
+/// (the character component of the Aguilar et al. BiLSTM-CNN-CRF baseline).
+/// Pipeline: byte embeddings -> width-3 convolution (as a Linear over
+/// concatenated windows) -> ReLU -> max-over-time pooling.
+class CharCnn : public Module {
+ public:
+  CharCnn(size_t char_dim, size_t num_filters, Rng* rng);
+
+  /// word -> (1, num_filters). Empty words map to the zero vector.
+  ag::Var Forward(const std::string& word) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  size_t num_filters() const { return num_filters_; }
+
+ private:
+  static constexpr size_t kAlphabetSize = 128;  // ASCII; bytes >127 fold in
+  size_t char_dim_;
+  size_t num_filters_;
+  Embedding char_embedding_;
+  Linear conv_;  // (3 * char_dim) -> num_filters
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_CHAR_CNN_H_

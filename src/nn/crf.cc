@@ -1,0 +1,166 @@
+#include "nn/crf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nerglob::nn {
+
+namespace {
+
+float LogSumExp(const std::vector<float>& xs) {
+  float mx = xs[0];
+  for (float x : xs) mx = std::max(mx, x);
+  double acc = 0.0;
+  for (float x : xs) acc += std::exp(x - mx);
+  return mx + static_cast<float>(std::log(acc));
+}
+
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(size_t num_tags, Rng* rng)
+    : num_tags_(num_tags),
+      transitions_(Matrix::Randn(num_tags, num_tags, 0.01f, rng),
+                   /*requires_grad=*/true),
+      start_(Matrix::Randn(1, num_tags, 0.01f, rng), /*requires_grad=*/true),
+      end_(Matrix::Randn(1, num_tags, 0.01f, rng), /*requires_grad=*/true) {}
+
+ag::Var LinearChainCrf::NegLogLikelihood(const ag::Var& emissions,
+                                         const std::vector<int>& tags) const {
+  const size_t t_len = emissions.rows();
+  const size_t L = num_tags_;
+  NERGLOB_CHECK_EQ(emissions.cols(), L);
+  NERGLOB_CHECK_EQ(tags.size(), t_len);
+  NERGLOB_CHECK_GT(t_len, 0u);
+  for (int tag : tags) NERGLOB_CHECK(tag >= 0 && static_cast<size_t>(tag) < L);
+
+  const Matrix& e = emissions.value();
+  const Matrix& a = transitions_.value();
+  const Matrix& s = start_.value();
+  const Matrix& z = end_.value();
+
+  // Forward algorithm (log space).
+  Matrix alpha(t_len, L);
+  for (size_t j = 0; j < L; ++j) alpha.At(0, j) = s.At(0, j) + e.At(0, j);
+  std::vector<float> scratch(L);
+  for (size_t t = 1; t < t_len; ++t) {
+    for (size_t j = 0; j < L; ++j) {
+      for (size_t i = 0; i < L; ++i) scratch[i] = alpha.At(t - 1, i) + a.At(i, j);
+      alpha.At(t, j) = LogSumExp(scratch) + e.At(t, j);
+    }
+  }
+  for (size_t j = 0; j < L; ++j) scratch[j] = alpha.At(t_len - 1, j) + z.At(0, j);
+  const float log_z = LogSumExp(scratch);
+
+  // Gold path score.
+  float gold = s.At(0, static_cast<size_t>(tags[0])) + z.At(0, static_cast<size_t>(tags[t_len - 1]));
+  for (size_t t = 0; t < t_len; ++t) gold += e.At(t, static_cast<size_t>(tags[t]));
+  for (size_t t = 1; t < t_len; ++t) {
+    gold += a.At(static_cast<size_t>(tags[t - 1]), static_cast<size_t>(tags[t]));
+  }
+
+  Matrix nll(1, 1);
+  nll.At(0, 0) = log_z - gold;
+
+  // Backward pass closure: exact marginals via forward-backward.
+  auto backward = [t_len, L, tags, alpha, log_z](ag::Node& node) {
+    const float g = node.grad_.At(0, 0);
+    const Matrix& e = node.parents_[0]->value_;
+    const Matrix& a = node.parents_[1]->value_;
+    const Matrix& z = node.parents_[3]->value_;
+
+    Matrix beta(t_len, L);
+    for (size_t j = 0; j < L; ++j) beta.At(t_len - 1, j) = z.At(0, j);
+    std::vector<float> scratch(L);
+    for (size_t t = t_len - 1; t-- > 0;) {
+      for (size_t i = 0; i < L; ++i) {
+        for (size_t j = 0; j < L; ++j) {
+          scratch[j] = a.At(i, j) + e.At(t + 1, j) + beta.At(t + 1, j);
+        }
+        beta.At(t, i) = LogSumExp(scratch);
+      }
+    }
+
+    Matrix de(t_len, L);
+    Matrix da(L, L);
+    Matrix ds(1, L);
+    Matrix dz(1, L);
+    // Unary marginals -> emission gradient; start/end use boundary rows.
+    for (size_t t = 0; t < t_len; ++t) {
+      for (size_t j = 0; j < L; ++j) {
+        const float marg = std::exp(alpha.At(t, j) + beta.At(t, j) - log_z);
+        de.At(t, j) = g * marg;
+      }
+      de.At(t, static_cast<size_t>(tags[t])) -= g;
+    }
+    for (size_t j = 0; j < L; ++j) {
+      ds.At(0, j) = g * std::exp(alpha.At(0, j) + beta.At(0, j) - log_z);
+      dz.At(0, j) = g * std::exp(alpha.At(t_len - 1, j) + beta.At(t_len - 1, j) - log_z);
+    }
+    ds.At(0, static_cast<size_t>(tags[0])) -= g;
+    dz.At(0, static_cast<size_t>(tags[t_len - 1])) -= g;
+    // Pairwise marginals -> transition gradient.
+    for (size_t t = 0; t + 1 < t_len; ++t) {
+      for (size_t i = 0; i < L; ++i) {
+        for (size_t j = 0; j < L; ++j) {
+          const float pair = std::exp(alpha.At(t, i) + a.At(i, j) +
+                                      e.At(t + 1, j) + beta.At(t + 1, j) - log_z);
+          da.At(i, j) += g * pair;
+        }
+      }
+      da.At(static_cast<size_t>(tags[t]), static_cast<size_t>(tags[t + 1])) -= g;
+    }
+
+    ag::AccumulateGrad(*node.parents_[0], de);
+    ag::AccumulateGrad(*node.parents_[1], da);
+    ag::AccumulateGrad(*node.parents_[2], ds);
+    ag::AccumulateGrad(*node.parents_[3], dz);
+  };
+
+  return ag::CustomOp(std::move(nll), {emissions, transitions_, start_, end_},
+                      std::move(backward));
+}
+
+std::vector<int> LinearChainCrf::Decode(const Matrix& emissions) const {
+  const size_t t_len = emissions.rows();
+  const size_t L = num_tags_;
+  NERGLOB_CHECK_EQ(emissions.cols(), L);
+  NERGLOB_CHECK_GT(t_len, 0u);
+  const Matrix& a = transitions_.value();
+  const Matrix& s = start_.value();
+  const Matrix& z = end_.value();
+
+  Matrix score(t_len, L);
+  std::vector<std::vector<int>> backptr(t_len, std::vector<int>(L, 0));
+  for (size_t j = 0; j < L; ++j) score.At(0, j) = s.At(0, j) + emissions.At(0, j);
+  for (size_t t = 1; t < t_len; ++t) {
+    for (size_t j = 0; j < L; ++j) {
+      float best = score.At(t - 1, 0) + a.At(0, j);
+      int best_i = 0;
+      for (size_t i = 1; i < L; ++i) {
+        const float cand = score.At(t - 1, i) + a.At(i, j);
+        if (cand > best) {
+          best = cand;
+          best_i = static_cast<int>(i);
+        }
+      }
+      score.At(t, j) = best + emissions.At(t, j);
+      backptr[t][j] = best_i;
+    }
+  }
+  float best = score.At(t_len - 1, 0) + z.At(0, 0);
+  int best_j = 0;
+  for (size_t j = 1; j < L; ++j) {
+    const float cand = score.At(t_len - 1, j) + z.At(0, j);
+    if (cand > best) {
+      best = cand;
+      best_j = static_cast<int>(j);
+    }
+  }
+  std::vector<int> tags(t_len);
+  tags[t_len - 1] = best_j;
+  for (size_t t = t_len - 1; t > 0; --t) tags[t - 1] = backptr[t][tags[t]];
+  return tags;
+}
+
+}  // namespace nerglob::nn

@@ -1,0 +1,49 @@
+#ifndef NERGLOB_NN_CRF_H_
+#define NERGLOB_NN_CRF_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace nerglob::nn {
+
+/// Linear-chain conditional random field over `num_tags` labels.
+///
+/// score(y | e) = start[y_0] + sum_t e[t, y_t] + sum_t trans[y_{t-1}, y_t]
+///               + end[y_{T-1}]
+///
+/// NegLogLikelihood is a custom-gradient autograd op: the forward pass runs
+/// the forward algorithm in log space; the backward pass computes exact
+/// marginals with forward-backward and emits (marginal - empirical)
+/// gradients for the emissions, transitions and boundary scores.
+/// Decode() is Viterbi.
+class LinearChainCrf : public Module {
+ public:
+  LinearChainCrf(size_t num_tags, Rng* rng);
+
+  /// emissions: (T, num_tags) unary scores; tags: gold sequence (length T).
+  /// Returns scalar NLL = logZ - score(tags). Differentiable through the
+  /// emissions and the CRF parameters.
+  ag::Var NegLogLikelihood(const ag::Var& emissions,
+                           const std::vector<int>& tags) const;
+
+  /// MAP sequence via Viterbi over raw emission scores.
+  std::vector<int> Decode(const Matrix& emissions) const;
+
+  std::vector<ag::Var> Parameters() const override {
+    return {transitions_, start_, end_};
+  }
+
+  size_t num_tags() const { return num_tags_; }
+
+ private:
+  size_t num_tags_;
+  ag::Var transitions_;  // (L, L): score of moving from row-tag to col-tag
+  ag::Var start_;        // (1, L)
+  ag::Var end_;          // (1, L)
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_CRF_H_

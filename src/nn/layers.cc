@@ -1,0 +1,181 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace nerglob::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = ag::Var(Matrix::RandUniform(in_features, out_features, limit, rng),
+                    /*requires_grad=*/true);
+  bias_ = ag::Var(Matrix(1, out_features), /*requires_grad=*/true);
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+}
+
+Embedding::Embedding(size_t vocab_size, size_t dim, Rng* rng) {
+  table_ = ag::Var(Matrix::Randn(vocab_size, dim, 0.1f, rng),
+                   /*requires_grad=*/true);
+}
+
+ag::Var Embedding::Forward(const std::vector<int>& ids) const {
+  return ag::GatherRows(table_, ids);
+}
+
+LayerNorm::LayerNorm(size_t dim) {
+  gamma_ = ag::Var(Matrix(1, dim, 1.0f), /*requires_grad=*/true);
+  beta_ = ag::Var(Matrix(1, dim), /*requires_grad=*/true);
+}
+
+ag::Var LayerNorm::Forward(const ag::Var& x) const {
+  return ag::LayerNormRows(x, gamma_, beta_);
+}
+
+BatchNorm1d::BatchNorm1d(size_t dim, float momentum, float eps)
+    : momentum_(momentum),
+      eps_(eps),
+      gamma_(Matrix(1, dim, 1.0f), /*requires_grad=*/true),
+      beta_(Matrix(1, dim), /*requires_grad=*/true),
+      running_mean_(1, dim),
+      running_var_(1, dim, 1.0f) {}
+
+ag::Var BatchNorm1d::Forward(const ag::Var& x, bool training) {
+  const size_t dim = x.cols();
+  NERGLOB_CHECK_EQ(dim, gamma_.cols());
+  Matrix mean(1, dim);
+  Matrix var(1, dim);
+  if (training && x.rows() > 1) {
+    const Matrix& xv = x.value();
+    for (size_t c = 0; c < dim; ++c) {
+      double m = 0.0;
+      for (size_t r = 0; r < xv.rows(); ++r) m += xv.At(r, c);
+      m /= xv.rows();
+      double v = 0.0;
+      for (size_t r = 0; r < xv.rows(); ++r) {
+        const double d = xv.At(r, c) - m;
+        v += d * d;
+      }
+      v /= xv.rows();
+      mean.At(0, c) = static_cast<float>(m);
+      var.At(0, c) = static_cast<float>(v);
+    }
+    // Exponential moving average of the batch statistics.
+    for (size_t c = 0; c < dim; ++c) {
+      running_mean_.At(0, c) =
+          (1.0f - momentum_) * running_mean_.At(0, c) + momentum_ * mean.At(0, c);
+      running_var_.At(0, c) =
+          (1.0f - momentum_) * running_var_.At(0, c) + momentum_ * var.At(0, c);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+  // Normalize with the (constant) statistics, then apply the learned affine.
+  // Treating batch stats as constants w.r.t. the gradient is a standard
+  // simplification; with the small batches used here the optimizer is
+  // insensitive to the difference.
+  Matrix inv_std(1, dim);
+  for (size_t c = 0; c < dim; ++c) {
+    inv_std.At(0, c) = 1.0f / std::sqrt(var.At(0, c) + eps_);
+  }
+  Matrix neg_mean = mean;
+  neg_mean.Scale(-1.0f);
+  ag::Var centered = ag::AddRowBroadcast(x, ag::Constant(std::move(neg_mean)));
+  ag::Var xhat = ag::MulRowBroadcast(centered, ag::Constant(std::move(inv_std)));
+  ag::Var scaled = ag::MulRowBroadcast(xhat, gamma_);
+  return ag::AddRowBroadcast(scaled, beta_);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng* rng) {
+  NERGLOB_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+ag::Var Mlp::Forward(const ag::Var& x) const {
+  ag::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+std::vector<ag::Var> Mlp::Parameters() const {
+  std::vector<ag::Var> out;
+  for (const Linear& l : layers_) {
+    for (const ag::Var& p : l.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+constexpr uint64_t kModuleFileMagic = 0x4e45524742303031ULL;  // "NERGB001"
+}  // namespace
+
+Status SaveModuleParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const uint64_t magic = kModuleFileMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const std::vector<ag::Var> params = module.Parameters();
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ag::Var& p : params) WriteMatrix(out, p.value());
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadModuleParameters(const std::string& path, Module* module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kModuleFileMagic) {
+    return Status::InvalidArgument("not a nerglob module file: " + path);
+  }
+  std::vector<ag::Var> params = module->Parameters();
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch (architecture changed?): " + path);
+  }
+  std::vector<Matrix> values;
+  values.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix m = ReadMatrix(in);
+    if (!in || m.rows() != params[i].rows() || m.cols() != params[i].cols()) {
+      return Status::InvalidArgument("parameter shape mismatch: " + path);
+    }
+    values.push_back(std::move(m));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = std::move(values[i]);
+  }
+  return Status::OK();
+}
+
+std::vector<Matrix> SnapshotParameters(const std::vector<ag::Var>& params) {
+  std::vector<Matrix> out;
+  out.reserve(params.size());
+  for (const ag::Var& p : params) out.push_back(p.value());
+  return out;
+}
+
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<ag::Var>* params) {
+  NERGLOB_CHECK_EQ(snapshot.size(), params->size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    (*params)[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace nerglob::nn

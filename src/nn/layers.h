@@ -1,0 +1,105 @@
+#ifndef NERGLOB_NN_LAYERS_H_
+#define NERGLOB_NN_LAYERS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace nerglob::nn {
+
+/// Fully-connected layer: y = x W + b. Glorot-uniform initialized.
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  /// x: (m, in) -> (m, out).
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const override { return {weight_, bias_}; }
+
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  ag::Var weight_;  // (in, out)
+  ag::Var bias_;    // (1, out)
+};
+
+/// Token embedding table with gather-based lookup.
+class Embedding : public Module {
+ public:
+  Embedding(size_t vocab_size, size_t dim, Rng* rng);
+
+  /// ids (each in [0, vocab)) -> (ids.size(), dim).
+  ag::Var Forward(const std::vector<int>& ids) const;
+
+  std::vector<ag::Var> Parameters() const override { return {table_}; }
+
+  size_t vocab_size() const { return table_.rows(); }
+  size_t dim() const { return table_.cols(); }
+
+ private:
+  ag::Var table_;  // (vocab, dim)
+};
+
+/// Layer normalization over the feature (column) axis, per row.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(size_t dim);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const override { return {gamma_, beta_}; }
+
+ private:
+  ag::Var gamma_;  // (1, dim), init 1
+  ag::Var beta_;   // (1, dim), init 0
+};
+
+/// Batch normalization over the batch (row) axis with running statistics.
+/// The paper's Phrase Embedder / Entity Classifier training uses batch norm
+/// for regularization (Sec. VI).
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(size_t dim, float momentum = 0.1f, float eps = 1e-5f);
+
+  /// Training mode normalizes with batch statistics and updates running
+  /// stats; eval mode uses the running stats.
+  ag::Var Forward(const ag::Var& x, bool training);
+
+  std::vector<ag::Var> Parameters() const override { return {gamma_, beta_}; }
+
+  const Matrix& running_mean() const { return running_mean_; }
+  const Matrix& running_var() const { return running_var_; }
+
+ private:
+  float momentum_;
+  float eps_;
+  ag::Var gamma_;
+  ag::Var beta_;
+  Matrix running_mean_;  // (1, dim)
+  Matrix running_var_;   // (1, dim)
+};
+
+/// A small multi-layer perceptron: Linear/ReLU stacks with a linear head.
+/// Used for the Entity Classifier ("multiple dense layers with ReLU
+/// activation and a softmax output layer", Sec. V-D).
+class Mlp : public Module {
+ public:
+  /// dims = {in, h1, ..., out}. Hidden layers get ReLU; the last is linear.
+  Mlp(const std::vector<size_t>& dims, Rng* rng);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_LAYERS_H_

@@ -1,0 +1,59 @@
+#include "nn/losses.h"
+
+#include "common/check.h"
+
+namespace nerglob::nn {
+
+ag::Var TripletCosineLoss(const ag::Var& anchor, const ag::Var& positive,
+                          const ag::Var& negative, float margin) {
+  ag::Var d_ap = ag::CosineDistanceRows(anchor, positive);
+  ag::Var d_an = ag::CosineDistanceRows(anchor, negative);
+  return ag::Relu(ag::AddScalar(ag::Sub(d_ap, d_an), margin));
+}
+
+ag::Var SoftNearestNeighborLoss(const ag::Var& embeddings,
+                                const std::vector<int>& labels,
+                                float temperature) {
+  const size_t b = embeddings.rows();
+  NERGLOB_CHECK_EQ(labels.size(), b);
+  NERGLOB_CHECK_GT(temperature, 0.0f);
+  NERGLOB_CHECK_GE(b, 2u);
+
+  // Pairwise cosine distances: D = 1 - N N^T.
+  ag::Var n = ag::L2NormalizeRows(embeddings);
+  ag::Var sim = ag::MatMul(n, ag::Transpose(n));
+  ag::Var dist = ag::AddScalar(ag::Neg(sim), 1.0f);
+  ag::Var kernel = ag::Exp(ag::ScalarMul(dist, -1.0f / temperature));
+
+  // Masks: exclude the diagonal everywhere; numerator keeps same-label pairs.
+  Matrix mask_all(b, b, 1.0f);
+  Matrix mask_same(b, b, 0.0f);
+  Matrix weights(b, 1, 0.0f);
+  size_t valid = 0;
+  for (size_t i = 0; i < b; ++i) {
+    mask_all.At(i, i) = 0.0f;
+    bool has_positive = false;
+    for (size_t j = 0; j < b; ++j) {
+      if (i != j && labels[i] == labels[j]) {
+        mask_same.At(i, j) = 1.0f;
+        has_positive = true;
+      }
+    }
+    if (has_positive) {
+      weights.At(i, 0) = 1.0f;
+      ++valid;
+    }
+  }
+  NERGLOB_CHECK_GT(valid, 0u)
+      << "SoftNearestNeighborLoss batch has no anchor with a positive";
+  weights.Scale(1.0f / static_cast<float>(valid));
+
+  constexpr float kEps = 1e-12f;
+  ag::Var num = ag::RowSum(ag::Mul(kernel, ag::Constant(std::move(mask_same))));
+  ag::Var den = ag::RowSum(ag::Mul(kernel, ag::Constant(std::move(mask_all))));
+  ag::Var log_ratio = ag::Sub(ag::Log(num, kEps), ag::Log(den, kEps));  // (b,1)
+  ag::Var weighted = ag::Mul(log_ratio, ag::Constant(std::move(weights)));
+  return ag::Neg(ag::SumAll(weighted));
+}
+
+}  // namespace nerglob::nn

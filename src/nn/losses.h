@@ -1,0 +1,30 @@
+#ifndef NERGLOB_NN_LOSSES_H_
+#define NERGLOB_NN_LOSSES_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace nerglob::nn {
+
+/// Triplet loss with cosine distance (paper Eq. 4):
+///   max(d(a,p) - d(a,n) + margin, 0)
+/// anchor/positive/negative are (1, d) embeddings. The paper sets
+/// margin = 1 to push negatives towards orthogonality.
+ag::Var TripletCosineLoss(const ag::Var& anchor, const ag::Var& positive,
+                          const ag::Var& negative, float margin = 1.0f);
+
+/// Soft Nearest Neighbour loss with cosine distance (paper Eq. 5):
+/// the mean over anchors i of
+///   -log( sum_{j != i, y_j = y_i} exp(-d_ij / tau)
+///         / sum_{k != i} exp(-d_ik / tau) ).
+/// embeddings: (b, d); labels: b class ids. Anchors with no same-class
+/// neighbour in the batch are excluded from the mean. `temperature` is the
+/// tau hyperparameter (smaller = neighbours dominate).
+ag::Var SoftNearestNeighborLoss(const ag::Var& embeddings,
+                                const std::vector<int>& labels,
+                                float temperature);
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_LOSSES_H_

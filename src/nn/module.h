@@ -1,0 +1,48 @@
+#ifndef NERGLOB_NN_MODULE_H_
+#define NERGLOB_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/status.h"
+
+namespace nerglob::nn {
+
+/// Base for trainable components: anything that owns parameters.
+/// Parameters are leaf ag::Vars with requires_grad=true whose values the
+/// optimizer updates in place.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (and submodules).
+  virtual std::vector<ag::Var> Parameters() const = 0;
+
+  /// Number of scalar parameters; handy for model summaries.
+  size_t NumParameters() const {
+    size_t n = 0;
+    for (const ag::Var& p : Parameters()) n += p.value().size();
+    return n;
+  }
+};
+
+/// Persists a module's parameter values to a binary file (magic + count +
+/// shaped matrices). The module's architecture is NOT stored: loading into
+/// a differently-shaped module fails with InvalidArgument.
+Status SaveModuleParameters(const Module& module, const std::string& path);
+
+/// Restores parameter values saved with SaveModuleParameters. The module
+/// must have the same architecture (parameter count and shapes).
+Status LoadModuleParameters(const std::string& path, Module* module);
+
+/// Takes a value snapshot of parameters (for best-checkpoint tracking).
+std::vector<Matrix> SnapshotParameters(const std::vector<ag::Var>& params);
+
+/// Restores parameter values from a snapshot taken with SnapshotParameters.
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<ag::Var>* params);
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_MODULE_H_

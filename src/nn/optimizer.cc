@@ -1,0 +1,100 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nerglob::nn {
+
+void Optimizer::ZeroGrad() {
+  for (ag::Var& p : params_) p.ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (ag::Var& p : params_) {
+    if (p.grad().size() == 0) continue;
+    Matrix& value = p.mutable_value();
+    if (weight_decay_ > 0.0f) value.Axpy(-lr_ * weight_decay_, value);
+    value.Axpy(-lr_, p.grad());
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i] = Matrix(params_[i].rows(), params_[i].cols());
+    v_[i] = Matrix(params_[i].rows(), params_[i].cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (p.grad().size() == 0) continue;
+    const Matrix& g = p.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix& value = p.mutable_value();
+    for (size_t k = 0; k < g.size(); ++k) {
+      const float gk = g.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0f - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0f - beta2_) * gk * gk;
+      const float mhat = m.data()[k] / bc1;
+      const float vhat = v.data()[k] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) update += weight_decay_ * value.data()[k];
+      value.data()[k] -= lr_ * update;
+    }
+  }
+}
+
+LinearWarmupSchedule::LinearWarmupSchedule(float peak_lr, size_t total_steps,
+                                           double warmup_fraction)
+    : peak_lr_(peak_lr),
+      total_steps_(std::max<size_t>(1, total_steps)),
+      warmup_steps_(static_cast<size_t>(
+          static_cast<double>(std::max<size_t>(1, total_steps)) *
+          warmup_fraction)) {}
+
+float LinearWarmupSchedule::LearningRate(size_t step) const {
+  step = std::min(step, total_steps_ - 1);
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const size_t decay_steps = total_steps_ - warmup_steps_;
+  if (decay_steps == 0) return peak_lr_;
+  const float progress = static_cast<float>(step - warmup_steps_) /
+                         static_cast<float>(decay_steps);
+  return peak_lr_ * (1.0f - progress);
+}
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const ag::Var& p : params) {
+    if (p.grad().size() == 0) continue;
+    const float n = p.grad().FrobeniusNorm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (ag::Var p : params) {
+      if (p.grad().size() == 0) continue;
+      p.mutable_grad().Scale(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace nerglob::nn

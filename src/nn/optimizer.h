@@ -1,0 +1,95 @@
+#ifndef NERGLOB_NN_OPTIMIZER_H_
+#define NERGLOB_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/matrix.h"
+
+namespace nerglob::nn {
+
+/// Base optimizer over a fixed parameter list. Parameters whose gradient
+/// was never touched in the current step are skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<ag::Var>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Var> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay. The paper trains
+/// the Phrase Embedder with Adam at lr=0.001 and the Entity Classifier at
+/// lr=0.0015 (Sec. VI).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Scales gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
+
+/// The BERT fine-tuning learning-rate schedule: linear warmup from 0 to
+/// `peak_lr` over the first `warmup_fraction` of `total_steps`, then linear
+/// decay back to 0 at the final step.
+class LinearWarmupSchedule {
+ public:
+  LinearWarmupSchedule(float peak_lr, size_t total_steps,
+                       double warmup_fraction = 0.1);
+
+  /// Learning rate for 0-based step `step` (clamped at total_steps - 1).
+  float LearningRate(size_t step) const;
+
+  size_t total_steps() const { return total_steps_; }
+
+ private:
+  float peak_lr_;
+  size_t total_steps_;
+  size_t warmup_steps_;
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_OPTIMIZER_H_

@@ -1,0 +1,58 @@
+#include "nn/recurrent.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nerglob::nn {
+
+Lstm::Lstm(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(input_dim + 2 * hidden_dim));
+  w_ = ag::Var(
+      Matrix::RandUniform(input_dim + hidden_dim, 4 * hidden_dim, limit, rng),
+      /*requires_grad=*/true);
+  // Forget-gate bias initialized to 1 (standard trick for gradient flow).
+  Matrix b(1, 4 * hidden_dim);
+  for (size_t c = hidden_dim; c < 2 * hidden_dim; ++c) b.At(0, c) = 1.0f;
+  b_ = ag::Var(std::move(b), /*requires_grad=*/true);
+}
+
+ag::Var Lstm::Forward(const ag::Var& x, bool reverse) const {
+  NERGLOB_CHECK_EQ(x.cols(), input_dim_);
+  const size_t t_len = x.rows();
+  ag::Var h = ag::Constant(Matrix(1, hidden_dim_));
+  ag::Var c = ag::Constant(Matrix(1, hidden_dim_));
+  std::vector<ag::Var> outputs(t_len);
+  for (size_t step = 0; step < t_len; ++step) {
+    const size_t t = reverse ? t_len - 1 - step : step;
+    ag::Var xt = ag::SliceRows(x, t, 1);
+    ag::Var zin = ag::ConcatCols({xt, h});
+    ag::Var gates = ag::AddRowBroadcast(ag::MatMul(zin, w_), b_);
+    ag::Var i = ag::Sigmoid(ag::SliceCols(gates, 0, hidden_dim_));
+    ag::Var f = ag::Sigmoid(ag::SliceCols(gates, hidden_dim_, hidden_dim_));
+    ag::Var g = ag::Tanh(ag::SliceCols(gates, 2 * hidden_dim_, hidden_dim_));
+    ag::Var o = ag::Sigmoid(ag::SliceCols(gates, 3 * hidden_dim_, hidden_dim_));
+    c = ag::Add(ag::Mul(f, c), ag::Mul(i, g));
+    h = ag::Mul(o, ag::Tanh(c));
+    outputs[t] = h;
+  }
+  return ag::ConcatRows(outputs);
+}
+
+BiLstm::BiLstm(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : fwd_(input_dim, hidden_dim, rng), bwd_(input_dim, hidden_dim, rng) {}
+
+ag::Var BiLstm::Forward(const ag::Var& x) const {
+  return ag::ConcatCols({fwd_.Forward(x, /*reverse=*/false),
+                         bwd_.Forward(x, /*reverse=*/true)});
+}
+
+std::vector<ag::Var> BiLstm::Parameters() const {
+  std::vector<ag::Var> out = fwd_.Parameters();
+  for (const ag::Var& p : bwd_.Parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace nerglob::nn

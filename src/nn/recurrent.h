@@ -1,0 +1,50 @@
+#ifndef NERGLOB_NN_RECURRENT_H_
+#define NERGLOB_NN_RECURRENT_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nerglob::nn {
+
+/// Single-direction LSTM unrolled over a (T, input_dim) sequence.
+/// Gates use one fused weight: [x_t, h_{t-1}] W + b with W of shape
+/// (input_dim + hidden_dim, 4 * hidden_dim), gate order [i, f, g, o].
+class Lstm : public Module {
+ public:
+  Lstm(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// x: (T, input_dim) -> hidden states (T, hidden_dim).
+  /// If reverse, processes the sequence right-to-left (output rows stay
+  /// aligned with input rows).
+  ag::Var Forward(const ag::Var& x, bool reverse = false) const;
+
+  std::vector<ag::Var> Parameters() const override { return {w_, b_}; }
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  ag::Var w_;  // (input+hidden, 4*hidden)
+  ag::Var b_;  // (1, 4*hidden)
+};
+
+/// Bidirectional LSTM: concatenates forward and backward hidden states.
+class BiLstm : public Module {
+ public:
+  BiLstm(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// x: (T, input_dim) -> (T, 2 * hidden_dim).
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_RECURRENT_H_

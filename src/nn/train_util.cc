@@ -1,0 +1,25 @@
+#include "nn/train_util.h"
+
+namespace nerglob::nn {
+
+bool EarlyStopper::Observe(double metric, const std::vector<ag::Var>& params) {
+  ++epochs_;
+  const bool improved =
+      !has_best_ ||
+      (higher_is_better_ ? metric > best_metric_ : metric < best_metric_);
+  if (improved) {
+    has_best_ = true;
+    best_metric_ = metric;
+    best_snapshot_ = SnapshotParameters(params);
+    stale_ = 0;
+    return true;
+  }
+  ++stale_;
+  return false;
+}
+
+void EarlyStopper::RestoreBest(std::vector<ag::Var>* params) const {
+  if (has_best_) RestoreParameters(best_snapshot_, params);
+}
+
+}  // namespace nerglob::nn

@@ -1,0 +1,48 @@
+#ifndef NERGLOB_NN_TRAIN_UTIL_H_
+#define NERGLOB_NN_TRAIN_UTIL_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace nerglob::nn {
+
+/// Tracks a validation metric across epochs, keeps a snapshot of the best
+/// parameters, and signals when `patience` consecutive epochs failed to
+/// improve (the paper uses early stopping with patience 8 for the Phrase
+/// Embedder and 20 for the Entity Classifier).
+class EarlyStopper {
+ public:
+  /// `higher_is_better`: true for F1-style metrics, false for losses.
+  EarlyStopper(int patience, bool higher_is_better)
+      : patience_(patience), higher_is_better_(higher_is_better) {}
+
+  /// Records an epoch result. Returns true if this epoch is a new best
+  /// (in which case the caller's parameters are snapshotted).
+  bool Observe(double metric, const std::vector<ag::Var>& params);
+
+  /// True once `patience` consecutive non-improving epochs were seen.
+  bool ShouldStop() const { return stale_ >= patience_; }
+
+  /// Best metric so far. Valid after the first Observe().
+  double best_metric() const { return best_metric_; }
+
+  /// Restores the best snapshot into `params` (same order as observed).
+  void RestoreBest(std::vector<ag::Var>* params) const;
+
+  int epochs_observed() const { return epochs_; }
+
+ private:
+  int patience_;
+  bool higher_is_better_;
+  int stale_ = 0;
+  int epochs_ = 0;
+  bool has_best_ = false;
+  double best_metric_ = 0.0;
+  std::vector<Matrix> best_snapshot_;
+};
+
+}  // namespace nerglob::nn
+
+#endif  // NERGLOB_NN_TRAIN_UTIL_H_

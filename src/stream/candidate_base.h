@@ -1,0 +1,81 @@
+#ifndef NERGLOB_STREAM_CANDIDATE_BASE_H_
+#define NERGLOB_STREAM_CANDIDATE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "text/bio.h"
+
+namespace nerglob::stream {
+
+/// A reference to one mention of a surface form, with its local contextual
+/// phrase embedding (Sec. V-B output).
+struct MentionRecord {
+  int64_t message_id = 0;
+  size_t begin_token = 0;
+  size_t end_token = 0;
+  Matrix local_embedding;  ///< (1, d)
+};
+
+/// One entity candidate = one cluster of mentions of a surface form
+/// (Sec. V-D: "every candidate cluster corresponds to a unique entity
+/// candidate in the CandidateBase").
+struct CandidateEntry {
+  std::string surface;               ///< canonical lowercased surface form
+  std::vector<size_t> mention_ids;   ///< indices into the pool for `surface`
+  /// Classifier outcome: one of the L entity types, or none (non-entity).
+  bool is_entity = false;
+  text::EntityType type = text::EntityType::kPerson;
+  float confidence = 0.0f;
+};
+
+/// CandidateBase: for each surface form, the growing pool of mention
+/// records plus the current cluster -> candidate partition. Pools are
+/// append-only so global embeddings can be updated incrementally as new
+/// mentions arrive in the stream.
+class CandidateBase {
+ public:
+  CandidateBase() = default;
+
+  /// Appends a mention to the surface form's pool; returns its index.
+  size_t AddMention(const std::string& surface, MentionRecord mention);
+
+  /// The mention pool for a surface form (empty if unknown).
+  const std::vector<MentionRecord>& Mentions(const std::string& surface) const;
+
+  /// Replaces the candidate partition for a surface form (after
+  /// re-clustering).
+  void SetCandidates(const std::string& surface,
+                     std::vector<CandidateEntry> candidates);
+
+  const std::vector<CandidateEntry>& Candidates(const std::string& surface) const;
+
+  /// All surface forms with at least one mention, in first-seen order.
+  const std::vector<std::string>& surfaces() const { return surface_order_; }
+
+  size_t TotalMentions() const;
+
+  /// Running mean of the surface's local mention embeddings, maintained
+  /// incrementally in O(d) per AddMention (Sec. V-D: "global embeddings can
+  /// be incrementally updated by adding local embeddings into the pool").
+  /// Empty matrix for unknown surfaces or pools without embeddings.
+  Matrix MeanEmbedding(const std::string& surface) const;
+
+ private:
+  struct SurfaceData {
+    std::vector<MentionRecord> mentions;
+    std::vector<CandidateEntry> candidates;
+    Matrix embedding_sum;       ///< sum of non-empty local embeddings
+    size_t embedded_count = 0;  ///< how many mentions contributed
+  };
+
+  std::unordered_map<std::string, SurfaceData> by_surface_;
+  std::vector<std::string> surface_order_;
+};
+
+}  // namespace nerglob::stream
+
+#endif  // NERGLOB_STREAM_CANDIDATE_BASE_H_

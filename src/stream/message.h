@@ -1,0 +1,47 @@
+#ifndef NERGLOB_STREAM_MESSAGE_H_
+#define NERGLOB_STREAM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/bio.h"
+#include "text/token.h"
+
+namespace nerglob::stream {
+
+/// One microblog message (tweet-sentence). Gold annotations are carried for
+/// evaluation; unlabeled streams leave `gold_spans` empty.
+struct Message {
+  int64_t id = 0;
+  std::string text;
+  int topic_id = 0;
+  /// Tokenization of `text` (filled by the generator or the pipeline).
+  std::vector<text::Token> tokens;
+  /// Gold entity spans over `tokens` (empty when unlabeled).
+  std::vector<text::EntitySpan> gold_spans;
+};
+
+/// Replays a fixed message list as a stream of fixed-size batches
+/// ("each iteration consists of a batch of incoming tweets", Sec. III).
+class StreamSource {
+ public:
+  StreamSource(std::vector<Message> messages, size_t batch_size);
+
+  bool HasNext() const { return next_ < messages_.size(); }
+
+  /// Returns the next batch (the final batch may be short).
+  std::vector<Message> NextBatch();
+
+  size_t num_messages() const { return messages_.size(); }
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  std::vector<Message> messages_;
+  size_t batch_size_;
+  size_t next_ = 0;
+};
+
+}  // namespace nerglob::stream
+
+#endif  // NERGLOB_STREAM_MESSAGE_H_

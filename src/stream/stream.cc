@@ -1,0 +1,113 @@
+#include "common/check.h"
+#include "stream/candidate_base.h"
+#include "stream/message.h"
+#include "stream/tweet_base.h"
+
+namespace nerglob::stream {
+
+StreamSource::StreamSource(std::vector<Message> messages, size_t batch_size)
+    : messages_(std::move(messages)), batch_size_(batch_size) {
+  NERGLOB_CHECK_GT(batch_size, 0u);
+}
+
+std::vector<Message> StreamSource::NextBatch() {
+  NERGLOB_CHECK(HasNext());
+  const size_t count = std::min(batch_size_, messages_.size() - next_);
+  std::vector<Message> batch(messages_.begin() + static_cast<std::ptrdiff_t>(next_),
+                             messages_.begin() + static_cast<std::ptrdiff_t>(next_ + count));
+  next_ += count;
+  return batch;
+}
+
+void TweetBase::Put(SentenceRecord record) {
+  const int64_t id = record.message.id;
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    order_.push_back(id);
+    records_.emplace(id, std::move(record));
+  } else {
+    it->second = std::move(record);
+  }
+}
+
+const SentenceRecord* TweetBase::Find(int64_t id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+SentenceRecord* TweetBase::FindMutable(int64_t id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// Leaked function-local statics: safe empty sentinels without static
+// destruction ordering concerns.
+const std::vector<MentionRecord>& EmptyMentions() {
+  static const auto& kEmpty = *new std::vector<MentionRecord>();
+  return kEmpty;
+}
+
+const std::vector<CandidateEntry>& EmptyCandidates() {
+  static const auto& kEmpty = *new std::vector<CandidateEntry>();
+  return kEmpty;
+}
+
+}  // namespace
+
+size_t CandidateBase::AddMention(const std::string& surface,
+                                 MentionRecord mention) {
+  auto it = by_surface_.find(surface);
+  if (it == by_surface_.end()) {
+    surface_order_.push_back(surface);
+    it = by_surface_.emplace(surface, SurfaceData{}).first;
+  }
+  SurfaceData& data = it->second;
+  if (!mention.local_embedding.empty()) {
+    if (data.embedded_count == 0) {
+      data.embedding_sum = mention.local_embedding;
+    } else {
+      data.embedding_sum.AddInPlace(mention.local_embedding);
+    }
+    ++data.embedded_count;
+  }
+  data.mentions.push_back(std::move(mention));
+  return data.mentions.size() - 1;
+}
+
+Matrix CandidateBase::MeanEmbedding(const std::string& surface) const {
+  auto it = by_surface_.find(surface);
+  if (it == by_surface_.end() || it->second.embedded_count == 0) return Matrix();
+  Matrix mean = it->second.embedding_sum;
+  mean.Scale(1.0f / static_cast<float>(it->second.embedded_count));
+  return mean;
+}
+
+const std::vector<MentionRecord>& CandidateBase::Mentions(
+    const std::string& surface) const {
+  auto it = by_surface_.find(surface);
+  return it == by_surface_.end() ? EmptyMentions() : it->second.mentions;
+}
+
+void CandidateBase::SetCandidates(const std::string& surface,
+                                  std::vector<CandidateEntry> candidates) {
+  auto it = by_surface_.find(surface);
+  NERGLOB_CHECK(it != by_surface_.end())
+      << "SetCandidates for unknown surface form: " << surface;
+  it->second.candidates = std::move(candidates);
+}
+
+const std::vector<CandidateEntry>& CandidateBase::Candidates(
+    const std::string& surface) const {
+  auto it = by_surface_.find(surface);
+  return it == by_surface_.end() ? EmptyCandidates() : it->second.candidates;
+}
+
+size_t CandidateBase::TotalMentions() const {
+  size_t total = 0;
+  for (const auto& [surface, data] : by_surface_) total += data.mentions.size();
+  return total;
+}
+
+}  // namespace nerglob::stream

@@ -1,0 +1,61 @@
+#ifndef NERGLOB_STREAM_TWEET_BASE_H_
+#define NERGLOB_STREAM_TWEET_BASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/message.h"
+#include "tensor/matrix.h"
+
+namespace nerglob::stream {
+
+/// A mention detected in a sentence: token span + (possibly revised) type.
+struct DetectedMention {
+  size_t begin_token = 0;
+  size_t end_token = 0;
+  text::EntityType type = text::EntityType::kPerson;
+
+  friend bool operator==(const DetectedMention& a, const DetectedMention& b) {
+    return a.begin_token == b.begin_token && a.end_token == b.end_token &&
+           a.type == b.type;
+  }
+};
+
+/// Per-sentence record stored after Local NER (Sec. IV): the message, its
+/// entity-aware token embeddings (penultimate-layer outputs), the local BIO
+/// labels, and the mention list that Global NER later rewrites.
+struct SentenceRecord {
+  Message message;
+  Matrix token_embeddings;      ///< (num_tokens, d)
+  std::vector<int> local_bio;   ///< Local NER label per token
+  std::vector<DetectedMention> mentions;  ///< final output mentions
+};
+
+/// TweetBase: sentence records indexed by message id. The paper indexes by
+/// (tweet id, sentence id); messages here are single sentences so a flat
+/// id suffices.
+class TweetBase {
+ public:
+  TweetBase() = default;
+
+  /// Adds a record; replaces any existing record with the same id.
+  void Put(SentenceRecord record);
+
+  /// nullptr if absent.
+  const SentenceRecord* Find(int64_t id) const;
+  SentenceRecord* FindMutable(int64_t id);
+
+  size_t size() const { return order_.size(); }
+
+  /// Ids in insertion order (stream order).
+  const std::vector<int64_t>& ids() const { return order_; }
+
+ private:
+  std::unordered_map<int64_t, SentenceRecord> records_;
+  std::vector<int64_t> order_;
+};
+
+}  // namespace nerglob::stream
+
+#endif  // NERGLOB_STREAM_TWEET_BASE_H_

@@ -1,0 +1,317 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace nerglob {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    NERGLOB_CHECK_EQ(rows[r].size(), m.cols_) << "ragged rows in FromRows";
+    std::copy(rows[r].begin(), rows[r].end(), m.Row(r));
+  }
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::Randn(size_t rows, size_t cols, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = stddev * static_cast<float>(rng->NextGaussian());
+  return m;
+}
+
+Matrix Matrix::RandUniform(size_t rows, size_t cols, float limit, Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->NextFloat(-limit, limit);
+  return m;
+}
+
+void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::AddInPlace(const Matrix& other) {
+  NERGLOB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  NERGLOB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Matrix::Apply(const std::function<float(float)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(size_t begin, size_t count) const {
+  NERGLOB_CHECK_LE(begin + count, rows_);
+  Matrix out(count, cols_);
+  std::copy(Row(begin), Row(begin) + count * cols_, out.data());
+  return out;
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (size_t r = 0; r < rows_ && r < static_cast<size_t>(max_rows); ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < cols_ && c < static_cast<size_t>(max_cols); ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    if (cols_ > static_cast<size_t>(max_cols)) os << ", ...";
+    os << "]";
+  }
+  if (rows_ > static_cast<size_t>(max_rows)) os << " ...";
+  os << "]";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  NERGLOB_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  Matrix out(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  NERGLOB_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
+  Matrix out(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.Row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  NERGLOB_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
+  Matrix out(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.Axpy(-1.0f, b);
+  return out;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  NERGLOB_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
+  NERGLOB_CHECK_EQ(bias.rows(), 1u);
+  NERGLOB_CHECK_EQ(bias.cols(), a.cols());
+  Matrix out = a;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* b = bias.Row(0);
+    for (size_t c = 0; c < a.cols(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* in = a.Row(r);
+    float* o = out.Row(r);
+    float mx = in[0];
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t c = 0; c < a.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* in = a.Row(r);
+    float* o = out.Row(r);
+    float mx = in[0];
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) total += std::exp(in[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(total));
+    for (size_t c = 0; c < a.cols(); ++c) o[c] = in[c] - lse;
+  }
+  return out;
+}
+
+Matrix RowL2Norms(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) acc += static_cast<double>(row[c]) * row[c];
+    out.At(r, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+float VecDot(const Matrix& a, const Matrix& b) {
+  NERGLOB_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  return static_cast<float>(acc);
+}
+
+float CosineSimilarity(const Matrix& a, const Matrix& b) {
+  const float dot = VecDot(a, b);
+  double na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) na += static_cast<double>(a.data()[i]) * a.data()[i];
+  for (size_t i = 0; i < b.size(); ++i) nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom < 1e-12) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+float CosineDistance(const Matrix& a, const Matrix& b) {
+  return 1.0f - CosineSimilarity(a, b);
+}
+
+Matrix MeanRows(const Matrix& a) {
+  NERGLOB_CHECK_GT(a.rows(), 0u);
+  Matrix out(1, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+  }
+  out.Scale(1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+Matrix VStack(const std::vector<Matrix>& parts) {
+  NERGLOB_CHECK(!parts.empty());
+  size_t rows = 0;
+  const size_t cols = parts[0].cols();
+  for (const auto& p : parts) {
+    NERGLOB_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  size_t r = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.Row(r));
+    r += p.rows();
+  }
+  return out;
+}
+
+Matrix HStack(const std::vector<Matrix>& parts) {
+  NERGLOB_CHECK(!parts.empty());
+  const size_t rows = parts[0].rows();
+  size_t cols = 0;
+  for (const auto& p : parts) {
+    NERGLOB_CHECK_EQ(p.rows(), rows);
+    cols += p.cols();
+  }
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* orow = out.Row(r);
+    size_t off = 0;
+    for (const auto& p : parts) {
+      std::copy(p.Row(r), p.Row(r) + p.cols(), orow + off);
+      off += p.cols();
+    }
+  }
+  return out;
+}
+
+void WriteMatrix(std::ostream& os, const Matrix& m) {
+  const uint64_t rows = m.rows(), cols = m.cols();
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix ReadMatrix(std::istream& is) {
+  uint64_t rows = 0, cols = 0;
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  return m;
+}
+
+}  // namespace nerglob

@@ -1,0 +1,174 @@
+#ifndef NERGLOB_TENSOR_MATRIX_H_
+#define NERGLOB_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nerglob {
+
+/// Dense row-major float matrix. This is the single numeric container used
+/// throughout the library (vectors are 1xN or Nx1 matrices). Kernels are
+/// BLAS-free but written cache-friendly (ikj gemm); model sizes in this
+/// project are small (d <= 128) so this is more than adequate.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// A rows x cols matrix filled with `value`.
+  Matrix(size_t rows, size_t cols, float value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Builds from nested initializer data, e.g. FromRows({{1,2},{3,4}}).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// A 1 x n row vector from values.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  /// Gaussian init with the given standard deviation.
+  static Matrix Randn(size_t rows, size_t cols, float stddev, Rng* rng);
+
+  /// Uniform init in [-limit, limit] (Glorot-style when
+  /// limit = sqrt(6/(fan_in+fan_out))).
+  static Matrix RandUniform(size_t rows, size_t cols, float limit, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) {
+    NERGLOB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    NERGLOB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) {
+    NERGLOB_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    NERGLOB_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Matrix& other);
+
+  /// this += alpha * other (same shape).
+  void Axpy(float alpha, const Matrix& other);
+
+  /// this *= alpha.
+  void Scale(float alpha);
+
+  /// Elementwise map (in place).
+  void Apply(const std::function<float(float)>& fn);
+
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Extracts rows [begin, begin+count) as a new matrix.
+  Matrix SliceRows(size_t begin, size_t count) const;
+
+  /// Exact equality (used in tests; floats compared bitwise-ish).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Human-readable dump (small matrices; tests and debugging).
+  std::string DebugString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k,m) x (k,n) -> (m,n).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (m,k) x (n,k) -> (m,n).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Elementwise a + b (same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Elementwise a - b (same shape).
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Elementwise a * b (same shape).
+Matrix Mul(const Matrix& a, const Matrix& b);
+
+/// Adds row vector `bias` (1 x n) to every row of `a` (m x n).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias);
+
+/// Row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// Row-wise log-softmax (numerically stable).
+Matrix LogSoftmaxRows(const Matrix& a);
+
+/// L2 norm of each row; returns m x 1.
+Matrix RowL2Norms(const Matrix& a);
+
+/// Dot product of two equal-length vectors given as 1xN or Nx1 matrices.
+float VecDot(const Matrix& a, const Matrix& b);
+
+/// Cosine similarity between two vectors (1xN matrices); 0 if either is ~0.
+float CosineSimilarity(const Matrix& a, const Matrix& b);
+
+/// Cosine distance = 1 - cosine similarity.
+float CosineDistance(const Matrix& a, const Matrix& b);
+
+/// Mean of all rows: (m,n) -> (1,n).
+Matrix MeanRows(const Matrix& a);
+
+/// Vertically stacks matrices with equal column counts.
+Matrix VStack(const std::vector<Matrix>& parts);
+
+/// Horizontally concatenates matrices with equal row counts.
+Matrix HStack(const std::vector<Matrix>& parts);
+
+/// Writes/reads a matrix in a simple binary format (shape + floats).
+void WriteMatrix(std::ostream& os, const Matrix& m);
+Matrix ReadMatrix(std::istream& is);
+
+}  // namespace nerglob
+
+#endif  // NERGLOB_TENSOR_MATRIX_H_

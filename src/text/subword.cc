@@ -1,0 +1,30 @@
+#include "text/subword.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace nerglob::text {
+
+HashedSubwordVocab::HashedSubwordVocab(size_t num_buckets, int min_n, int max_n)
+    : num_buckets_(num_buckets), min_n_(min_n), max_n_(max_n) {
+  NERGLOB_CHECK_GT(num_buckets, 0u);
+  NERGLOB_CHECK_GE(min_n, 1);
+  NERGLOB_CHECK_GE(max_n, min_n);
+}
+
+std::vector<int> HashedSubwordVocab::SubwordIds(const std::string& word) const {
+  std::vector<int> ids;
+  // Whole-word bucket first: frequent words get a dedicated representation.
+  ids.push_back(static_cast<int>(Fnv1aHash(word) % num_buckets_));
+  const std::string marked = "<" + word + ">";
+  for (int n = min_n_; n <= max_n_; ++n) {
+    if (marked.size() < static_cast<size_t>(n)) break;
+    for (size_t i = 0; i + n <= marked.size(); ++i) {
+      ids.push_back(static_cast<int>(
+          Fnv1aHash(std::string_view(marked).substr(i, n)) % num_buckets_));
+    }
+  }
+  return ids;
+}
+
+}  // namespace nerglob::text

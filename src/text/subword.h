@@ -1,0 +1,33 @@
+#ifndef NERGLOB_TEXT_SUBWORD_H_
+#define NERGLOB_TEXT_SUBWORD_H_
+
+#include <string>
+#include <vector>
+
+namespace nerglob::text {
+
+/// Hash-bucketed subword featurizer (fastText-style). A word maps to the
+/// bucket of its whole form plus the buckets of its character n-grams with
+/// boundary markers ("<us>" -> "<u","us","s>",...). This gives the MicroBert
+/// language model an open vocabulary without a trained wordpiece model —
+/// the substitution for BERTweet's BPE vocabulary (see DESIGN.md).
+class HashedSubwordVocab {
+ public:
+  /// num_buckets: hash space size (embedding rows). min_n/max_n: character
+  /// n-gram lengths, inclusive.
+  HashedSubwordVocab(size_t num_buckets, int min_n = 3, int max_n = 4);
+
+  /// Bucket ids for a (lowercased) word; always non-empty, deterministic.
+  std::vector<int> SubwordIds(const std::string& word) const;
+
+  size_t num_buckets() const { return num_buckets_; }
+
+ private:
+  size_t num_buckets_;
+  int min_n_;
+  int max_n_;
+};
+
+}  // namespace nerglob::text
+
+#endif  // NERGLOB_TEXT_SUBWORD_H_

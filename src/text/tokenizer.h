@@ -1,0 +1,28 @@
+#ifndef NERGLOB_TEXT_TOKENIZER_H_
+#define NERGLOB_TEXT_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace nerglob::text {
+
+/// Rule-based social-media tokenizer. Handles the token classes that
+/// dominate microblog text: URLs, @mentions, #hashtags, emoticons,
+/// numbers, words with inner apostrophes ("don't") and punctuation.
+/// Deterministic; no locale dependence (ASCII folding only).
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+
+  std::vector<Token> Tokenize(std::string_view message) const;
+};
+
+/// Squeezes character elongation ("soooo" -> "soo"): any run of 3+ equal
+/// characters shrinks to 2. Used when normalizing noisy tokens.
+std::string SqueezeElongation(std::string_view word);
+
+}  // namespace nerglob::text
+
+#endif  // NERGLOB_TEXT_TOKENIZER_H_

@@ -1,0 +1,57 @@
+#include "trie/candidate_trie.h"
+
+namespace nerglob::trie {
+
+bool CandidateTrie::Insert(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return false;
+  Node* node = &root_;
+  for (const std::string& tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) {
+      it = node->children.emplace(tok, std::make_unique<Node>()).first;
+    }
+    node = it->second.get();
+  }
+  if (node->terminal) return false;
+  node->terminal = true;
+  ++size_;
+  return true;
+}
+
+bool CandidateTrie::Contains(const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return false;
+  const Node* node = &root_;
+  for (const std::string& tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return node->terminal;
+}
+
+std::vector<TokenSpan> CandidateTrie::FindLongestMatches(
+    const std::vector<std::string>& tokens, size_t max_span) const {
+  std::vector<TokenSpan> matches;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Walk the trie from position i, remembering the longest terminal hit.
+    const Node* node = &root_;
+    size_t best_end = 0;  // 0 = no match
+    const size_t limit = std::min(tokens.size(), i + max_span);
+    for (size_t j = i; j < limit; ++j) {
+      auto it = node->children.find(tokens[j]);
+      if (it == node->children.end()) break;
+      node = it->second.get();
+      if (node->terminal) best_end = j + 1;
+    }
+    if (best_end > 0) {
+      matches.push_back({i, best_end});
+      i = best_end;  // resume after the match (non-overlapping output)
+    } else {
+      ++i;  // shift the window by one token
+    }
+  }
+  return matches;
+}
+
+}  // namespace nerglob::trie

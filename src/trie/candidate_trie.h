@@ -1,0 +1,70 @@
+#ifndef NERGLOB_TRIE_CANDIDATE_TRIE_H_
+#define NERGLOB_TRIE_CANDIDATE_TRIE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nerglob::trie {
+
+/// Token span [begin, end) over a sentence.
+struct TokenSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  friend bool operator==(const TokenSpan& a, const TokenSpan& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// CandidatePrefixTrie (CTrie, Sec. IV): a prefix-trie forest over the
+/// token sequences of candidate surface forms, supporting the
+/// longest-match scan of Sec. V-A. All inputs are expected in matching
+/// form (lowercased, hashtag-stripped — see text::Token::match); the trie
+/// itself performs exact token comparison.
+class CandidateTrie {
+ public:
+  CandidateTrie() = default;
+
+  // Movable, not copyable (owns a node tree).
+  CandidateTrie(CandidateTrie&&) = default;
+  CandidateTrie& operator=(CandidateTrie&&) = default;
+  CandidateTrie(const CandidateTrie&) = delete;
+  CandidateTrie& operator=(const CandidateTrie&) = delete;
+
+  /// Registers a surface form. Returns true if it was not present before.
+  /// Empty token sequences are ignored (returns false).
+  bool Insert(const std::vector<std::string>& tokens);
+
+  /// Exact membership test.
+  bool Contains(const std::vector<std::string>& tokens) const;
+
+  /// Number of registered surface forms.
+  size_t size() const { return size_; }
+
+  /// Default lookahead: mentions up to this many tokens are matched
+  /// ("a token ... alone or together with up to k following tokens").
+  static constexpr size_t kDefaultMaxSpan = 6;
+
+  /// Scans a sentence (matching-form tokens) and returns the set of
+  /// non-overlapping longest subsequences that are registered surface
+  /// forms. Greedy left-to-right: at each position the longest match wins
+  /// and the scan resumes after it; on no match the window shifts by one.
+  std::vector<TokenSpan> FindLongestMatches(
+      const std::vector<std::string>& tokens,
+      size_t max_span = kDefaultMaxSpan) const;
+
+ private:
+  struct Node {
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+    bool terminal = false;
+  };
+
+  Node root_;
+  size_t size_ = 0;
+};
+
+}  // namespace nerglob::trie
+
+#endif  // NERGLOB_TRIE_CANDIDATE_TRIE_H_

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "baselines/global_baselines.h"
+#include "baselines/local_baselines.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::baselines {
+namespace {
+
+using text::EntityType;
+
+std::vector<text::Token> Toks(const std::string& s) {
+  return text::Tokenizer().Tokenize(s);
+}
+
+stream::Message MakeMsg(int64_t id, const std::string& txt) {
+  stream::Message m;
+  m.id = id;
+  m.text = txt;
+  m.tokens = Toks(txt);
+  return m;
+}
+
+lm::LabeledSentence Labeled(const std::string& s, const std::string& entity,
+                            EntityType type) {
+  lm::LabeledSentence ex;
+  ex.tokens = Toks(s);
+  ex.bio.assign(ex.tokens.size(), text::kBioOutside);
+  for (size_t t = 0; t < ex.tokens.size(); ++t) {
+    if (ex.tokens[t].match == entity) ex.bio[t] = text::BioBeginLabel(type);
+  }
+  return ex;
+}
+
+std::vector<lm::LabeledSentence> TinyCorpus() {
+  return {
+      Labeled("alpha says hello", "alpha", EntityType::kPerson),
+      Labeled("we met alpha today", "alpha", EntityType::kPerson),
+      Labeled("alpha speaks tonight", "alpha", EntityType::kPerson),
+      Labeled("go to betaville now", "betaville", EntityType::kLocation),
+      Labeled("betaville is cold", "betaville", EntityType::kLocation),
+      Labeled("snow hits betaville", "betaville", EntityType::kLocation),
+  };
+}
+
+lm::MicroBertConfig TinyLmConfig() {
+  lm::MicroBertConfig cfg;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.max_seq_len = 16;
+  cfg.subword_buckets = 256;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(AguilarNerTest, TrainsAndPredictsOnTinyTask) {
+  AguilarNer::Config cfg;
+  cfg.char_dim = 6;
+  cfg.char_filters = 8;
+  cfg.word_dim = 12;
+  cfg.lstm_hidden = 10;
+  cfg.subword_buckets = 256;
+  AguilarNer model(cfg, 3);
+  const double loss = model.Train(TinyCorpus(), /*epochs=*/70, 1e-2f, 4);
+  EXPECT_LT(loss, 0.5);
+  auto preds = model.Predict({MakeMsg(0, "alpha visits betaville")});
+  ASSERT_EQ(preds.size(), 1u);
+  bool found_per = false, found_loc = false;
+  for (const auto& span : preds[0]) {
+    if (span.begin_token == 0 && span.type == EntityType::kPerson) found_per = true;
+    if (span.begin_token == 2 && span.type == EntityType::kLocation) found_loc = true;
+  }
+  EXPECT_TRUE(found_per);
+  EXPECT_TRUE(found_loc);
+}
+
+TEST(AguilarNerTest, EmptyMessageYieldsNoSpans) {
+  AguilarNer model(AguilarNer::Config{}, 5);
+  auto preds = model.Predict({MakeMsg(0, "")});
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_TRUE(preds[0].empty());
+}
+
+TEST(BertNerTest, TrainsAndPredicts) {
+  BertNer model(TinyLmConfig(), 7);
+  lm::FineTuneOptions opt;
+  opt.epochs = 25;
+  opt.batch_size = 3;
+  opt.lr = 5e-3f;
+  model.Train(TinyCorpus(), opt);
+  auto preds = model.Predict({MakeMsg(0, "alpha visits betaville")});
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_FALSE(preds[0].empty());
+  EXPECT_EQ(model.name(), "BERT-NER");
+}
+
+class MemoryBaselineTest : public ::testing::Test {
+ protected:
+  MemoryBaselineTest() : model_(TinyLmConfig(), 9) {
+    lm::FineTuneOptions opt;
+    opt.epochs = 25;
+    opt.batch_size = 3;
+    opt.lr = 5e-3f;
+    lm::FineTuneForNer(&model_, TinyCorpus(), opt);
+  }
+  lm::MicroBert model_;
+};
+
+TEST_F(MemoryBaselineTest, AkbikTrainsHeadAndPredicts) {
+  AkbikPooledNer akbik(&model_, 11);
+  const double loss = akbik.Train(TinyCorpus(), /*epochs=*/8, 5e-3f, 12);
+  EXPECT_LT(loss, 1.5);
+  auto preds = akbik.Predict(
+      {MakeMsg(0, "alpha says hello"), MakeMsg(1, "we met alpha today")});
+  ASSERT_EQ(preds.size(), 2u);
+  // The trained head should find the strongly-supervised entity.
+  bool found = false;
+  for (const auto& msg_preds : preds) {
+    for (const auto& span : msg_preds) {
+      if (span.type == EntityType::kPerson) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(akbik.name(), "Akbik et al.");
+}
+
+TEST_F(MemoryBaselineTest, AkbikPoolingModesDiffer) {
+  // Mean/min/max pools must produce different memory features (and thus
+  // generally different trained heads), but all remain functional.
+  auto corpus = TinyCorpus();
+  std::vector<AkbikPooledNer::MemoryPooling> modes = {
+      AkbikPooledNer::MemoryPooling::kMean,
+      AkbikPooledNer::MemoryPooling::kMin,
+      AkbikPooledNer::MemoryPooling::kMax};
+  std::vector<double> losses;
+  for (auto mode : modes) {
+    AkbikPooledNer akbik(&model_, 17, mode);
+    losses.push_back(akbik.Train(corpus, /*epochs=*/4, 5e-3f, 18));
+    auto preds = akbik.Predict({MakeMsg(0, "alpha says hello")});
+    EXPECT_EQ(preds.size(), 1u);
+  }
+  // Same seed, different pooling -> training trajectories diverge.
+  EXPECT_FALSE(losses[0] == losses[1] && losses[1] == losses[2]);
+}
+
+TEST_F(MemoryBaselineTest, HireTrainsHeadAndPredicts) {
+  HireNer hire(&model_, 13);
+  const double loss = hire.Train(TinyCorpus(), /*epochs=*/8, 5e-3f, 14);
+  EXPECT_LT(loss, 1.5);
+  auto preds = hire.Predict({MakeMsg(0, "betaville is cold")});
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(hire.name(), "HIRE-NER");
+}
+
+TEST_F(MemoryBaselineTest, DoclRefinesLowConfidenceMentions) {
+  // Gate 1.0: every mention gets revoted to its surface's majority type —
+  // at minimum this must not crash and must keep spans intact.
+  DoclNer docl(&model_, /*confidence_gate=*/1.0f);
+  auto msgs = std::vector<stream::Message>{
+      MakeMsg(0, "alpha says hello"),
+      MakeMsg(1, "we met alpha today"),
+      MakeMsg(2, "alpha speaks tonight"),
+  };
+  auto preds = docl.Predict(msgs);
+  ASSERT_EQ(preds.size(), 3u);
+  // Majority voting keeps all alpha mentions a single consistent type.
+  std::set<int> types;
+  for (const auto& msg_preds : preds) {
+    for (const auto& span : msg_preds) {
+      if (span.begin_token != std::string::npos) {
+        types.insert(static_cast<int>(span.type));
+      }
+    }
+  }
+  EXPECT_LE(types.size(), 1u);
+  EXPECT_EQ(docl.name(), "DocL-NER");
+}
+
+TEST_F(MemoryBaselineTest, DoclHighGateEqualsVotedTypes) {
+  // With gate 0 nothing is revoted: output equals the local decode.
+  DoclNer docl(&model_, /*confidence_gate=*/0.0f);
+  auto msg = MakeMsg(0, "alpha says hello");
+  auto preds = docl.Predict({msg});
+  auto enc = model_.Encode(msg.tokens);
+  auto local = text::DecodeBio(enc.bio_labels);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].size(), local.size());
+}
+
+}  // namespace
+}  // namespace nerglob::baselines

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "common/rng.h"
+
+namespace nerglob::cluster {
+namespace {
+
+TEST(PairwiseCosineTest, SymmetricZeroDiagonal) {
+  Matrix e = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  Matrix d = PairwiseCosineDistances(e);
+  EXPECT_FLOAT_EQ(d.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.At(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(d.At(0, 1), d.At(1, 0));
+  EXPECT_NEAR(d.At(0, 1), 1.0f, 1e-5f);          // orthogonal
+  EXPECT_NEAR(d.At(0, 2), 1.0f - 0.70710678f, 1e-5f);
+}
+
+TEST(AgglomerativeTest, EmptyInput) {
+  auto result = AgglomerativeCluster(Matrix(), 0.5f);
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(AgglomerativeTest, SingletonInput) {
+  Matrix e = Matrix::FromRows({{1, 0}});
+  auto result = AgglomerativeClusterCosine(e, 0.5f);
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.assignments[0], 0);
+}
+
+TEST(AgglomerativeTest, TwoWellSeparatedGroups) {
+  // Two orthogonal directions with small in-group noise.
+  Matrix e = Matrix::FromRows({
+      {1.0f, 0.01f}, {0.99f, 0.02f}, {1.0f, -0.01f},   // group A
+      {0.01f, 1.0f}, {-0.02f, 0.98f},                  // group B
+  });
+  auto result = AgglomerativeClusterCosine(e, 0.3f);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.assignments[0], result.assignments[1]);
+  EXPECT_EQ(result.assignments[0], result.assignments[2]);
+  EXPECT_EQ(result.assignments[3], result.assignments[4]);
+  EXPECT_NE(result.assignments[0], result.assignments[3]);
+}
+
+TEST(AgglomerativeTest, ThresholdControlsGranularity) {
+  Matrix e = Matrix::FromRows({{1, 0}, {0.9f, 0.1f}, {0, 1}, {0.1f, 0.9f}});
+  auto tight = AgglomerativeClusterCosine(e, 0.05f);
+  auto loose = AgglomerativeClusterCosine(e, 0.999f);
+  EXPECT_GT(tight.num_clusters, loose.num_clusters);
+  EXPECT_EQ(loose.num_clusters, 1u);  // everything merges under a loose cut
+}
+
+TEST(AgglomerativeTest, ZeroThresholdKeepsDistinctPointsApart) {
+  Matrix e = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  auto result = AgglomerativeClusterCosine(e, 0.0f);
+  EXPECT_EQ(result.num_clusters, 3u);
+}
+
+TEST(AgglomerativeTest, IdenticalPointsAlwaysMerge) {
+  Matrix e = Matrix::FromRows({{2, 2}, {4, 4}, {1, 1}});  // same direction
+  auto result = AgglomerativeClusterCosine(e, 0.01f);
+  EXPECT_EQ(result.num_clusters, 1u);
+}
+
+TEST(AgglomerativeTest, AssignmentsAreContiguousIds) {
+  Rng rng(7);
+  Matrix e = Matrix::Randn(20, 8, 1.0f, &rng);
+  auto result = AgglomerativeClusterCosine(e, 0.4f);
+  std::set<int> ids(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(ids.size(), result.num_clusters);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int>(result.num_clusters) - 1);
+}
+
+TEST(AgglomerativeTest, AverageLinkageChainsLessThanSingleLinkage) {
+  // A chain of points A-B-C where A and C are far apart: with a threshold
+  // below the A..C average distance the chain must break into >= 2 clusters.
+  Matrix e = Matrix::FromRows({
+      {1.0f, 0.0f},
+      {0.9f, 0.45f},   // close to both ends
+      {0.0f, 1.0f},
+  });
+  auto result = AgglomerativeClusterCosine(e, 0.25f);
+  EXPECT_GE(result.num_clusters, 2u);
+}
+
+TEST(AgglomerativeTest, AmbiguousSurfaceFormScenario) {
+  // Simulates "washington": PER mentions cluster one way, LOC the other.
+  // Embeddings trained with margin-1 triplet loss are near-orthogonal
+  // across types; threshold 0.7 (< 1) must separate them.
+  Rng rng(11);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({1.0f + 0.05f * static_cast<float>(rng.NextGaussian()),
+                    0.05f * static_cast<float>(rng.NextGaussian())});
+  }
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back({0.05f * static_cast<float>(rng.NextGaussian()),
+                    1.0f + 0.05f * static_cast<float>(rng.NextGaussian())});
+  }
+  auto result = AgglomerativeClusterCosine(Matrix::FromRows(rows), 0.7f);
+  EXPECT_EQ(result.num_clusters, 2u);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  for (int i = 7; i < 10; ++i) EXPECT_EQ(result.assignments[i], result.assignments[6]);
+}
+
+}  // namespace
+}  // namespace nerglob::cluster

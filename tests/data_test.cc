@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/generator.h"
+#include "data/knowledge_base.h"
+
+namespace nerglob::data {
+namespace {
+
+using text::EntityType;
+
+TEST(KnowledgeBaseTest, StandardWorldHasAllTopicTypePools) {
+  KnowledgeBase kb = KnowledgeBase::BuildStandard(10, 42);
+  for (int t = 0; t < kNumTopics; ++t) {
+    for (int ty = 0; ty < text::kNumEntityTypes; ++ty) {
+      auto pool = kb.EntitiesForTopicType(static_cast<Topic>(t),
+                                          static_cast<EntityType>(ty));
+      EXPECT_GE(pool.size(), 10u) << TopicName(static_cast<Topic>(t));
+    }
+  }
+}
+
+TEST(KnowledgeBaseTest, CoreContainsPaperAmbiguities) {
+  KnowledgeBase kb = KnowledgeBase::BuildStandard(0, 1);
+  // "washington" must exist with two different types (Sec. I).
+  std::set<EntityType> washington_types;
+  bool has_us_alias = false;
+  for (const Entity& e : kb.entities()) {
+    if (e.canonical == "washington") washington_types.insert(e.type);
+    for (const auto& a : e.aliases) {
+      if (a == "us") has_us_alias = true;
+    }
+  }
+  EXPECT_EQ(washington_types.size(), 2u);
+  EXPECT_TRUE(has_us_alias);
+  // And "us" must also be usable as a non-entity (pronoun).
+  const auto& homographs = kb.non_entity_homographs();
+  EXPECT_NE(std::find(homographs.begin(), homographs.end(), "us"),
+            homographs.end());
+}
+
+TEST(KnowledgeBaseTest, DeterministicGivenSeed) {
+  KnowledgeBase a = KnowledgeBase::BuildStandard(5, 9);
+  KnowledgeBase b = KnowledgeBase::BuildStandard(5, 9);
+  ASSERT_EQ(a.entities().size(), b.entities().size());
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entities()[i].canonical, b.entities()[i].canonical);
+  }
+}
+
+TEST(KnowledgeBaseTest, ProceduralOnlyHasNoCoreEntities) {
+  KnowledgeBase kb = KnowledgeBase::BuildProceduralOnly(5, 3);
+  for (const Entity& e : kb.entities()) {
+    EXPECT_NE(e.canonical, "coronavirus");
+    EXPECT_NE(e.canonical, "donald trump");
+  }
+  EXPECT_EQ(kb.entities().size(),
+            static_cast<size_t>(kNumTopics * text::kNumEntityTypes * 5));
+}
+
+TEST(SynthNamesTest, ProduceLowercaseTokens) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    for (const std::string& name :
+         {SynthPersonName(&rng), SynthLocationName(&rng),
+          SynthOrganizationName(&rng), SynthMiscName(&rng)}) {
+      EXPECT_FALSE(name.empty());
+      for (char c : name) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ') << name;
+      }
+    }
+  }
+}
+
+TEST(DatasetSpecTest, PaperSizes) {
+  EXPECT_EQ(MakeDatasetSpec("D1").num_messages, 1000u);
+  EXPECT_EQ(MakeDatasetSpec("D2").num_messages, 2000u);
+  EXPECT_EQ(MakeDatasetSpec("D3").num_messages, 3000u);
+  EXPECT_EQ(MakeDatasetSpec("D4").num_messages, 6000u);
+  EXPECT_EQ(MakeDatasetSpec("D5").num_messages, 3430u);
+  EXPECT_EQ(MakeDatasetSpec("WNUT17").num_messages, 1287u);
+  EXPECT_EQ(MakeDatasetSpec("BTC").num_messages, 9553u);
+  EXPECT_EQ(MakeDatasetSpec("D3").topics.size(), 3u);
+  EXPECT_EQ(MakeDatasetSpec("D4").topics.size(), 5u);
+}
+
+TEST(DatasetSpecTest, ScaleShrinks) {
+  EXPECT_EQ(MakeDatasetSpec("D4", 0.1).num_messages, 600u);
+  EXPECT_EQ(MakeDatasetSpec("D1", 0.01).num_messages, 50u);  // floor
+}
+
+TEST(DatasetSpecTest, StreamingReatsEntitiesMoreThanRandomSampling) {
+  EXPECT_GT(MakeDatasetSpec("D2").zipf_exponent,
+            MakeDatasetSpec("WNUT17").zipf_exponent);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : kb_(KnowledgeBase::BuildStandard(15, 7)), gen_(&kb_) {}
+  KnowledgeBase kb_;
+  StreamGenerator gen_;
+};
+
+TEST_F(GeneratorTest, GeneratesRequestedCount) {
+  auto spec = MakeDatasetSpec("D1", 0.1);
+  auto msgs = gen_.Generate(spec);
+  EXPECT_EQ(msgs.size(), spec.num_messages);
+}
+
+TEST_F(GeneratorTest, DeterministicGivenSeed) {
+  auto spec = MakeDatasetSpec("D2", 0.05);
+  auto a = gen_.Generate(spec);
+  auto b = gen_.Generate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST_F(GeneratorTest, TokensMatchTextAndSpansInBounds) {
+  auto msgs = gen_.Generate(MakeDatasetSpec("D3", 0.1));
+  for (const auto& m : msgs) {
+    EXPECT_FALSE(m.tokens.empty());
+    for (const auto& span : m.gold_spans) {
+      EXPECT_LT(span.begin_token, span.end_token);
+      EXPECT_LE(span.end_token, m.tokens.size());
+    }
+  }
+}
+
+TEST_F(GeneratorTest, GoldSpansCoverEntityAliases) {
+  // Every gold span's surface must be an alias of some KB entity of that
+  // type (modulo casing/typos/hashtag joining), spot-checked via length.
+  auto msgs = gen_.Generate(MakeDatasetSpec("D1", 0.1));
+  size_t total_spans = 0;
+  for (const auto& m : msgs) total_spans += m.gold_spans.size();
+  EXPECT_GT(total_spans, msgs.size() / 2);  // most messages carry entities
+}
+
+TEST_F(GeneratorTest, StreamingDatasetRepeatsTopEntities) {
+  auto msgs = gen_.Generate(MakeDatasetSpec("D2", 0.25));
+  std::map<std::string, int> counts;
+  for (const auto& m : msgs) {
+    for (const auto& span : m.gold_spans) {
+      std::string surface;
+      for (size_t t = span.begin_token; t < span.end_token; ++t) {
+        surface += m.tokens[t].match + " ";
+      }
+      ++counts[surface];
+    }
+  }
+  int max_count = 0;
+  for (const auto& [s, c] : counts) max_count = std::max(max_count, c);
+  // Zipf head: the most frequent surface form recurs heavily.
+  EXPECT_GT(max_count, 20);
+}
+
+TEST_F(GeneratorTest, NonStreamingDatasetSpreadsEntities) {
+  auto streaming = gen_.Generate(MakeDatasetSpec("D2", 0.25));
+  auto random_sampled = gen_.Generate(MakeDatasetSpec("WNUT17", 0.39));
+  // Comparable message counts; unique entity count much higher for the
+  // uniform (non-streaming) dataset.
+  const size_t u_stream = CountUniqueGoldEntities(streaming);
+  const size_t u_random = CountUniqueGoldEntities(random_sampled);
+  EXPECT_GT(u_random, u_stream);
+}
+
+TEST_F(GeneratorTest, HomographSentencesHaveNoGold) {
+  auto msgs = gen_.Generate(MakeDatasetSpec("D2", 0.5));
+  bool saw_pronoun_us = false;
+  for (const auto& m : msgs) {
+    if (m.text.find("help us get through") != std::string::npos) {
+      saw_pronoun_us = true;
+      EXPECT_TRUE(m.gold_spans.empty());
+    }
+  }
+  EXPECT_TRUE(saw_pronoun_us);
+}
+
+TEST_F(GeneratorTest, ToLabeledSentencesEncodesBio) {
+  auto msgs = gen_.Generate(MakeDatasetSpec("D1", 0.05));
+  auto labeled = ToLabeledSentences(msgs);
+  ASSERT_EQ(labeled.size(), msgs.size());
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    EXPECT_EQ(labeled[i].bio.size(), msgs[i].tokens.size());
+    auto decoded = text::DecodeBio(labeled[i].bio);
+    EXPECT_EQ(decoded.size(), msgs[i].gold_spans.size());
+  }
+}
+
+TEST_F(GeneratorTest, TrainSpecDownweightsOrgMisc) {
+  KnowledgeBase train_kb = KnowledgeBase::BuildProceduralOnly(15, 77);
+  StreamGenerator train_gen(&train_kb);
+  auto train = train_gen.Generate(MakeDatasetSpec("TRAIN", 0.5));
+  std::map<text::EntityType, int> counts;
+  for (const auto& m : train) {
+    for (const auto& s : m.gold_spans) ++counts[s.type];
+  }
+  EXPECT_GT(counts[EntityType::kPerson], counts[EntityType::kOrganization]);
+  EXPECT_GT(counts[EntityType::kLocation], counts[EntityType::kMisc]);
+}
+
+TEST_F(GeneratorTest, TemplateCoverageRestrictsContexts) {
+  // TRAIN (coverage 0.6) must use strictly fewer distinct message shapes
+  // than the same spec with full coverage.
+  auto collect_skeletons = [&](double coverage) {
+    DatasetSpec spec = MakeDatasetSpec("TRAIN", 0.3);
+    spec.template_coverage = coverage;
+    spec.org_misc_weight = 1.0;
+    spec.noise = NoiseOptions{};
+    spec.noise.rt_prefix = 0;
+    spec.noise.append_url = 0;
+    spec.noise.append_emoticon = 0;
+    spec.noise.elongation = 0;
+    auto msgs = gen_.Generate(spec);
+    // Template skeleton: the message with entity tokens blanked out.
+    std::set<std::string> skeletons;
+    for (const auto& m : msgs) {
+      std::vector<bool> is_entity(m.tokens.size(), false);
+      for (const auto& span : m.gold_spans) {
+        for (size_t t = span.begin_token; t < span.end_token; ++t) {
+          is_entity[t] = true;
+        }
+      }
+      if (m.gold_spans.empty()) continue;  // homograph/filler: shared
+      std::string skeleton;
+      for (size_t t = 0; t < m.tokens.size(); ++t) {
+        skeleton += is_entity[t] ? "<E>" : m.tokens[t].match;
+        skeleton += ' ';
+      }
+      skeletons.insert(skeleton);
+    }
+    return skeletons.size();
+  };
+  EXPECT_LT(collect_skeletons(0.4), collect_skeletons(1.0));
+}
+
+TEST_F(GeneratorTest, AllTopicsAppearInMultiTopicStream) {
+  auto msgs = gen_.Generate(MakeDatasetSpec("D4", 0.1));
+  std::set<int> topics;
+  for (const auto& m : msgs) topics.insert(m.topic_id);
+  EXPECT_EQ(topics.size(), 5u);
+}
+
+}  // namespace
+}  // namespace nerglob::data

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::eval {
+namespace {
+
+using text::EntitySpan;
+using text::EntityType;
+
+EntitySpan Span(size_t b, size_t e, EntityType t) { return {b, e, t}; }
+
+TEST(FinalizePrfTest, ComputesScores) {
+  PrfScores s = FinalizePrf(8, 2, 4);
+  EXPECT_DOUBLE_EQ(s.precision, 0.8);
+  EXPECT_NEAR(s.recall, 8.0 / 12.0, 1e-9);
+  EXPECT_NEAR(s.f1, 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-9);
+}
+
+TEST(FinalizePrfTest, ZeroDenominatorsAreZero) {
+  PrfScores s = FinalizePrf(0, 0, 0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(EvaluateNerTest, PerfectPrediction) {
+  std::vector<std::vector<EntitySpan>> gold = {
+      {Span(0, 1, EntityType::kPerson), Span(3, 5, EntityType::kLocation)}};
+  auto scores = EvaluateNer(gold, gold);
+  EXPECT_DOUBLE_EQ(scores.micro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(scores.per_type[0].f1, 1.0);
+  EXPECT_DOUBLE_EQ(scores.emd.f1, 1.0);
+  // Types LOC/PER perfect (1.0), ORG/MISC have no instances (0.0) -> macro 0.5.
+  EXPECT_DOUBLE_EQ(scores.macro_f1, 0.5);
+}
+
+TEST(EvaluateNerTest, WrongTypeCountsAgainstNerButNotEmd) {
+  std::vector<std::vector<EntitySpan>> gold = {{Span(0, 1, EntityType::kMisc)}};
+  std::vector<std::vector<EntitySpan>> pred = {{Span(0, 1, EntityType::kPerson)}};
+  auto scores = EvaluateNer(gold, pred);
+  EXPECT_DOUBLE_EQ(scores.micro.f1, 0.0);
+  EXPECT_EQ(scores.per_type[static_cast<size_t>(EntityType::kPerson)].fp, 1u);
+  EXPECT_EQ(scores.per_type[static_cast<size_t>(EntityType::kMisc)].fn, 1u);
+  EXPECT_DOUBLE_EQ(scores.emd.f1, 1.0);  // span itself is right
+}
+
+TEST(EvaluateNerTest, PartialSpanIsWrong) {
+  std::vector<std::vector<EntitySpan>> gold = {{Span(0, 2, EntityType::kPerson)}};
+  std::vector<std::vector<EntitySpan>> pred = {{Span(0, 1, EntityType::kPerson)}};
+  auto scores = EvaluateNer(gold, pred);
+  EXPECT_EQ(scores.micro.tp, 0u);
+  EXPECT_EQ(scores.micro.fp, 1u);
+  EXPECT_EQ(scores.micro.fn, 1u);
+}
+
+TEST(EvaluateNerTest, DuplicatePredictionsDeduplicated) {
+  std::vector<std::vector<EntitySpan>> gold = {{Span(0, 1, EntityType::kPerson)}};
+  std::vector<std::vector<EntitySpan>> pred = {
+      {Span(0, 1, EntityType::kPerson), Span(0, 1, EntityType::kPerson)}};
+  auto scores = EvaluateNer(gold, pred);
+  EXPECT_EQ(scores.micro.tp, 1u);
+  EXPECT_EQ(scores.micro.fp, 0u);
+}
+
+TEST(EvaluateNerTest, MacroAveragesAcrossTypes) {
+  // PER perfect, LOC completely wrong, ORG/MISC absent.
+  std::vector<std::vector<EntitySpan>> gold = {
+      {Span(0, 1, EntityType::kPerson), Span(2, 3, EntityType::kLocation)}};
+  std::vector<std::vector<EntitySpan>> pred = {{Span(0, 1, EntityType::kPerson)}};
+  auto scores = EvaluateNer(gold, pred);
+  EXPECT_DOUBLE_EQ(scores.macro_f1, 0.25);
+}
+
+stream::Message MsgWithGold(int64_t id, const std::string& txt,
+                            std::vector<EntitySpan> gold) {
+  stream::Message m;
+  m.id = id;
+  m.text = txt;
+  m.tokens = text::Tokenizer().Tokenize(txt);
+  m.gold_spans = std::move(gold);
+  return m;
+}
+
+TEST(SpanSurfaceTest, JoinsMatchForms) {
+  auto m = MsgWithGold(1, "Gov Andy Beshear speaks", {});
+  EXPECT_EQ(SpanSurface(m, {1, 3, EntityType::kPerson}), "andy beshear");
+}
+
+TEST(FrequencyBinnedRecallTest, BinsByEntityFrequency) {
+  // Entity "a" appears 7 times (bin 6-10), entity "b" once (bin 1-5).
+  std::vector<stream::Message> msgs;
+  std::vector<std::vector<EntitySpan>> preds;
+  for (int i = 0; i < 7; ++i) {
+    msgs.push_back(MsgWithGold(i, "a here", {Span(0, 1, EntityType::kPerson)}));
+    // Recover 4 of 7 mentions of "a".
+    preds.push_back(i < 4 ? std::vector<EntitySpan>{Span(0, 1, EntityType::kPerson)}
+                          : std::vector<EntitySpan>{});
+  }
+  msgs.push_back(MsgWithGold(7, "b here", {Span(0, 1, EntityType::kLocation)}));
+  preds.push_back({Span(0, 1, EntityType::kLocation)});
+
+  auto bins = FrequencyBinnedRecall(msgs, preds, 5);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].lo, 1);
+  EXPECT_EQ(bins[0].hi, 5);
+  EXPECT_EQ(bins[0].gold_mentions, 1u);
+  EXPECT_DOUBLE_EQ(bins[0].recall, 1.0);
+  EXPECT_EQ(bins[1].gold_mentions, 7u);
+  EXPECT_NEAR(bins[1].recall, 4.0 / 7.0, 1e-9);
+}
+
+TEST(FrequencyBinnedRecallTest, EmptyInput) {
+  EXPECT_TRUE(FrequencyBinnedRecall({}, {}, 5).empty());
+}
+
+TEST(AnalyzeErrorsTest, CountsEntirelyMissedEntities) {
+  std::vector<stream::Message> msgs;
+  std::vector<std::vector<EntitySpan>> preds;
+  // "ghost" entity: 3 mentions, none recovered.
+  for (int i = 0; i < 3; ++i) {
+    msgs.push_back(MsgWithGold(i, "ghost walks", {Span(0, 1, EntityType::kPerson)}));
+    preds.push_back({});
+  }
+  // "seen" entity: 2 mentions, 1 recovered.
+  for (int i = 3; i < 5; ++i) {
+    msgs.push_back(MsgWithGold(i, "seen here", {Span(0, 1, EntityType::kLocation)}));
+    preds.push_back(i == 3 ? std::vector<EntitySpan>{Span(0, 1, EntityType::kLocation)}
+                           : std::vector<EntitySpan>{});
+  }
+  auto analysis = AnalyzeErrors(msgs, preds);
+  EXPECT_EQ(analysis.total_gold_mentions, 5u);
+  EXPECT_EQ(analysis.total_gold_entities, 2u);
+  EXPECT_EQ(analysis.entirely_missed_entities, 1u);
+  EXPECT_EQ(analysis.mentions_of_entirely_missed_entities, 3u);
+}
+
+TEST(AnalyzeErrorsTest, CountsMistypedMentions) {
+  std::vector<stream::Message> msgs = {
+      MsgWithGold(0, "nhs acts", {Span(0, 1, EntityType::kOrganization)})};
+  std::vector<std::vector<EntitySpan>> preds = {{Span(0, 1, EntityType::kPerson)}};
+  auto analysis = AnalyzeErrors(msgs, preds);
+  EXPECT_EQ(analysis.mistyped_mentions, 1u);
+}
+
+TEST(TypeConfusionTest, CountsMatchesMistypesAndMisses) {
+  std::vector<std::vector<EntitySpan>> gold = {
+      {Span(0, 1, EntityType::kOrganization),   // mistyped as PER
+       Span(2, 3, EntityType::kLocation),       // correct
+       Span(4, 5, EntityType::kMisc)}};         // missed
+  std::vector<std::vector<EntitySpan>> pred = {
+      {Span(0, 1, EntityType::kPerson), Span(2, 3, EntityType::kLocation)}};
+  auto confusion = ComputeTypeConfusion(gold, pred);
+  const size_t org = static_cast<size_t>(EntityType::kOrganization);
+  const size_t per = static_cast<size_t>(EntityType::kPerson);
+  const size_t loc = static_cast<size_t>(EntityType::kLocation);
+  const size_t misc = static_cast<size_t>(EntityType::kMisc);
+  EXPECT_EQ(confusion[org][per], 1u);
+  EXPECT_EQ(confusion[loc][loc], 1u);
+  EXPECT_EQ(confusion[misc][text::kNumEntityTypes], 1u);  // missed column
+  // Row sums == gold counts.
+  size_t org_row = 0;
+  for (size_t c = 0; c <= text::kNumEntityTypes; ++c) org_row += confusion[org][c];
+  EXPECT_EQ(org_row, 1u);
+}
+
+TEST(TypeConfusionTest, EmptyInputsAllZero) {
+  auto confusion = ComputeTypeConfusion({}, {});
+  for (const auto& row : confusion) {
+    for (size_t v : row) EXPECT_EQ(v, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nerglob::eval

@@ -1,0 +1,115 @@
+// Tests for the experiment harness: deterministic builds, the trained-
+// parameter cache (hit, corruption fallback, option-key sensitivity).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "harness/experiment.h"
+
+namespace nerglob::harness {
+namespace {
+
+BuildOptions TinyOptions() {
+  BuildOptions options;
+  options.scale = 0.03;
+  options.lm_config.d_model = 16;
+  options.lm_config.num_heads = 2;
+  options.lm_config.num_layers = 1;
+  options.lm_config.subword_buckets = 512;
+  options.lm_epochs = 2;
+  options.max_triplets = 1000;
+  options.embedder_epochs = 5;
+  options.classifier_epochs = 10;
+  options.kb_entities_per_topic_type = 6;
+  options.cache_dir = "";
+  return options;
+}
+
+Matrix FirstParam(const TrainedSystem& system) {
+  return system.model->Parameters()[0].value();
+}
+
+TEST(HarnessTest, BuildIsDeterministic) {
+  auto a = BuildTrainedSystem(TinyOptions());
+  auto b = BuildTrainedSystem(TinyOptions());
+  EXPECT_EQ(FirstParam(a), FirstParam(b));
+  EXPECT_EQ(a.d5_mention_examples, b.d5_mention_examples);
+  EXPECT_DOUBLE_EQ(a.classifier_result.validation_macro_f1,
+                   b.classifier_result.validation_macro_f1);
+}
+
+TEST(HarnessTest, SeedChangesParameters) {
+  auto options = TinyOptions();
+  auto a = BuildTrainedSystem(options);
+  options.seed = 1234;
+  auto b = BuildTrainedSystem(options);
+  EXPECT_FALSE(FirstParam(a) == FirstParam(b));
+}
+
+TEST(HarnessTest, CacheRoundTripAndAux) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/nerglob_cache_test";
+  std::filesystem::remove_all(dir);
+  auto options = TinyOptions();
+  options.cache_dir = dir;
+  auto trained = BuildTrainedSystem(options);  // trains + writes cache
+  auto cached = BuildTrainedSystem(options);   // must hit the cache
+  EXPECT_EQ(FirstParam(trained), FirstParam(cached));
+  // Aux metadata survives the cache.
+  EXPECT_EQ(cached.d5_mention_examples, trained.d5_mention_examples);
+  EXPECT_EQ(cached.embedder_result.dataset_size,
+            trained.embedder_result.dataset_size);
+  EXPECT_DOUBLE_EQ(cached.classifier_result.validation_macro_f1,
+                   trained.classifier_result.validation_macro_f1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessTest, CorruptCacheFallsBackToTraining) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/nerglob_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  auto options = TinyOptions();
+  options.cache_dir = dir;
+  auto trained = BuildTrainedSystem(options);
+  // Corrupt every cache file.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  auto rebuilt = BuildTrainedSystem(options);  // must retrain, not crash
+  EXPECT_EQ(FirstParam(trained), FirstParam(rebuilt));  // deterministic
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessTest, DifferentOptionsUseDifferentCacheKeys) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/nerglob_cache_keys";
+  std::filesystem::remove_all(dir);
+  auto options = TinyOptions();
+  options.cache_dir = dir;
+  BuildTrainedSystem(options);
+  size_t files_after_first = 0;
+  for ([[maybe_unused]] const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++files_after_first;
+  }
+  options.seed = 4242;
+  BuildTrainedSystem(options);
+  size_t files_after_second = 0;
+  for ([[maybe_unused]] const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++files_after_second;
+  }
+  EXPECT_GT(files_after_second, files_after_first);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessTest, DefaultScaleRespectsEnvironment) {
+  // Only checks the parsing contract (cannot safely setenv in a test that
+  // shares a process): default is 0.25 when the variable is unset/invalid.
+  if (std::getenv("NERGLOB_SCALE") == nullptr) {
+    EXPECT_DOUBLE_EQ(DefaultScale(), 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace nerglob::harness

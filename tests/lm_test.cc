@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "lm/micro_bert.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::lm {
+namespace {
+
+MicroBertConfig TinyConfig() {
+  MicroBertConfig cfg;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ff_mult = 2;
+  cfg.max_seq_len = 16;
+  cfg.subword_buckets = 512;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+std::vector<text::Token> Toks(const std::string& s) {
+  return text::Tokenizer().Tokenize(s);
+}
+
+TEST(MicroBertTest, EncodeShapes) {
+  MicroBert model(TinyConfig(), 1);
+  auto tokens = Toks("italy reports new cases");
+  EncodeResult result = model.Encode(tokens);
+  EXPECT_EQ(result.embeddings.rows(), 4u);
+  EXPECT_EQ(result.embeddings.cols(), 16u);
+  EXPECT_EQ(result.logits.rows(), 4u);
+  EXPECT_EQ(result.logits.cols(), static_cast<size_t>(text::kNumBioLabels));
+  EXPECT_EQ(result.bio_labels.size(), 4u);
+}
+
+TEST(MicroBertTest, EncodeIsDeterministic) {
+  MicroBert model(TinyConfig(), 2);
+  auto tokens = Toks("the coronavirus is spreading");
+  auto a = model.Encode(tokens);
+  auto b = model.Encode(tokens);
+  EXPECT_EQ(a.embeddings, b.embeddings);
+  EXPECT_EQ(a.bio_labels, b.bio_labels);
+}
+
+TEST(MicroBertTest, TruncatesLongSentences) {
+  MicroBert model(TinyConfig(), 3);
+  std::string long_text;
+  for (int i = 0; i < 30; ++i) long_text += "word" + std::to_string(i) + " ";
+  auto tokens = Toks(long_text);
+  ASSERT_GT(tokens.size(), 16u);
+  auto result = model.Encode(tokens);
+  EXPECT_EQ(result.embeddings.rows(), 16u);               // truncated
+  EXPECT_EQ(result.bio_labels.size(), tokens.size());     // padded with O
+  for (size_t t = 16; t < tokens.size(); ++t) {
+    EXPECT_EQ(result.bio_labels[t], text::kBioOutside);
+  }
+}
+
+TEST(MicroBertTest, ContextChangesEmbedding) {
+  // The same word in different contexts must get different contextual
+  // embeddings (that is the whole point of the encoder).
+  MicroBert model(TinyConfig(), 4);
+  auto a = model.Encode(Toks("washington announced a lockdown"));
+  auto b = model.Encode(Toks("protests erupt in washington today"));
+  // "washington" is token 0 in a, token 3 in b.
+  Matrix ea = a.embeddings.SliceRows(0, 1);
+  Matrix eb = b.embeddings.SliceRows(3, 1);
+  EXPECT_GT(CosineDistance(ea, eb), 1e-3f);
+}
+
+TEST(MicroBertTest, TokenKindInfluencesRepresentation) {
+  // The same surface text as a word vs as a hashtag (same match form) must
+  // produce different input embeddings via the token-kind table.
+  MicroBert model(TinyConfig(), 30);
+  auto word_tokens = Toks("covid is here");
+  auto hash_tokens = Toks("#covid is here");
+  ASSERT_EQ(word_tokens[0].match, hash_tokens[0].match);
+  ASSERT_NE(word_tokens[0].kind, hash_tokens[0].kind);
+  auto a = model.Encode(word_tokens);
+  auto b = model.Encode(hash_tokens);
+  Matrix ea = a.embeddings.SliceRows(0, 1);
+  Matrix eb = b.embeddings.SliceRows(0, 1);
+  EXPECT_GT(CosineDistance(ea, eb), 1e-4f);
+}
+
+TEST(MicroBertTest, ParameterCountConsistent) {
+  MicroBert model(TinyConfig(), 5);
+  EXPECT_GT(model.NumParameters(), 1000u);
+  EXPECT_EQ(model.Parameters().size(),
+            MicroBert(TinyConfig(), 6).Parameters().size());
+}
+
+TEST(FineTuneTest, LearnsTinyCorpus) {
+  // A toy task: "alpha" is always PER, "betaville" always LOC. After
+  // fine-tuning, the model must tag both correctly in held-out contexts.
+  MicroBert model(TinyConfig(), 7);
+  std::vector<LabeledSentence> train;
+  const std::vector<std::string> per_ctx = {
+      "alpha says hello", "we saw alpha today", "alpha is speaking now",
+      "big day for alpha", "alpha won again"};
+  const std::vector<std::string> loc_ctx = {
+      "we live in betaville", "betaville is cold", "go to betaville now",
+      "betaville reports snow", "flights to betaville stopped"};
+  for (const auto& s : per_ctx) {
+    LabeledSentence ex;
+    ex.tokens = Toks(s);
+    ex.bio.assign(ex.tokens.size(), text::kBioOutside);
+    for (size_t t = 0; t < ex.tokens.size(); ++t) {
+      if (ex.tokens[t].match == "alpha") {
+        ex.bio[t] = text::BioBeginLabel(text::EntityType::kPerson);
+      }
+    }
+    train.push_back(ex);
+  }
+  for (const auto& s : loc_ctx) {
+    LabeledSentence ex;
+    ex.tokens = Toks(s);
+    ex.bio.assign(ex.tokens.size(), text::kBioOutside);
+    for (size_t t = 0; t < ex.tokens.size(); ++t) {
+      if (ex.tokens[t].match == "betaville") {
+        ex.bio[t] = text::BioBeginLabel(text::EntityType::kLocation);
+      }
+    }
+    train.push_back(ex);
+  }
+
+  FineTuneOptions options;
+  options.epochs = 30;
+  options.batch_size = 4;
+  options.lr = 3e-3f;
+  const double final_loss = FineTuneForNer(&model, train, options);
+  EXPECT_LT(final_loss, 0.5);
+
+  auto result = model.Encode(Toks("alpha visits betaville"));
+  EXPECT_EQ(result.bio_labels[0], text::BioBeginLabel(text::EntityType::kPerson));
+  EXPECT_EQ(result.bio_labels[2], text::BioBeginLabel(text::EntityType::kLocation));
+}
+
+TEST(PretrainMlmTest, LossDecreasesOnSmallCorpus) {
+  MicroBert model(TinyConfig(), 21);
+  std::vector<std::vector<text::Token>> corpus;
+  for (const char* s :
+       {"the virus is spreading fast", "stay home and stay safe",
+        "the virus is everywhere now", "cases are rising fast again",
+        "hospitals are full this week", "stay safe out there friends"}) {
+    corpus.push_back(Toks(s));
+  }
+  PretrainOptions short_run;
+  short_run.epochs = 1;
+  const double first = PretrainMlm(&model, corpus, short_run);
+  PretrainOptions longer;
+  longer.epochs = 25;
+  const double later = PretrainMlm(&model, corpus, longer);
+  EXPECT_LT(later, first);
+}
+
+TEST(PretrainMlmTest, PretrainingChangesEncoderParameters) {
+  MicroBert model(TinyConfig(), 22);
+  const Matrix before = model.Parameters()[0].value();
+  std::vector<std::vector<text::Token>> corpus = {
+      Toks("alpha beta gamma delta"), Toks("beta gamma delta epsilon")};
+  PretrainOptions opt;
+  opt.epochs = 3;
+  PretrainMlm(&model, corpus, opt);
+  EXPECT_FALSE(model.Parameters()[0].value() == before);
+}
+
+TEST(FineTuneTest, LossDecreases) {
+  MicroBert model(TinyConfig(), 8);
+  std::vector<LabeledSentence> train;
+  LabeledSentence ex;
+  ex.tokens = Toks("gamma is trending");
+  ex.bio = {text::BioBeginLabel(text::EntityType::kMisc), 0, 0};
+  train.push_back(ex);
+
+  FineTuneOptions one_epoch;
+  one_epoch.epochs = 1;
+  one_epoch.batch_size = 1;
+  const double first = FineTuneForNer(&model, train, one_epoch);
+  FineTuneOptions more;
+  more.epochs = 20;
+  more.batch_size = 1;
+  const double later = FineTuneForNer(&model, train, more);
+  EXPECT_LT(later, first);
+}
+
+}  // namespace
+}  // namespace nerglob::lm

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/entity_classifier.h"
+#include "lm/micro_bert.h"
+#include "nn/layers.h"
+#include "text/tokenizer.h"
+
+namespace nerglob {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializationTest, LinearRoundTrip) {
+  Rng rng(1);
+  nn::Linear a(4, 3, &rng);
+  const std::string path = TempPath("linear.bin");
+  ASSERT_TRUE(nn::SaveModuleParameters(a, path).ok());
+
+  Rng rng2(99);  // different init
+  nn::Linear b(4, 3, &rng2);
+  ASSERT_FALSE(b.weight().value() == a.weight().value());
+  ASSERT_TRUE(nn::LoadModuleParameters(path, &b).ok());
+  EXPECT_EQ(b.weight().value(), a.weight().value());
+  EXPECT_EQ(b.bias().value(), a.bias().value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MicroBertRoundTripPreservesPredictions) {
+  lm::MicroBertConfig cfg;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.subword_buckets = 256;
+  cfg.dropout = 0.0f;
+  lm::MicroBert a(cfg, 5);
+  const std::string path = TempPath("microbert.bin");
+  ASSERT_TRUE(nn::SaveModuleParameters(a, path).ok());
+
+  lm::MicroBert b(cfg, 77);
+  ASSERT_TRUE(nn::LoadModuleParameters(path, &b).ok());
+  auto tokens = text::Tokenizer().Tokenize("italy reports new cases");
+  EXPECT_EQ(a.Encode(tokens).embeddings, b.Encode(tokens).embeddings);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  Rng rng(2);
+  nn::Linear m(2, 2, &rng);
+  Status s = nn::LoadModuleParameters("/nonexistent/dir/file.bin", &m);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, WrongMagicRejected) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[32] = "not a model file at all!";
+    out.write(garbage, sizeof(garbage));
+  }
+  Rng rng(3);
+  nn::Linear m(2, 2, &rng);
+  Status s = nn::LoadModuleParameters(path, &m);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ArchitectureMismatchRejectedAndTargetUntouched) {
+  Rng rng(4);
+  nn::Linear small(2, 2, &rng);
+  const std::string path = TempPath("small.bin");
+  ASSERT_TRUE(nn::SaveModuleParameters(small, path).ok());
+
+  nn::Linear big(5, 7, &rng);
+  const Matrix before = big.weight().value();
+  Status s = nn::LoadModuleParameters(path, &big);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(big.weight().value(), before);  // failed load must not clobber
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileRejectedAndTargetUntouched) {
+  Rng rng(5);
+  core::EntityClassifier clf(8, 8, &rng);
+  const std::string path = TempPath("clf.bin");
+  ASSERT_TRUE(nn::SaveModuleParameters(clf, path).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string content(static_cast<size_t>(size) / 2, '\0');
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  core::EntityClassifier other(8, 8, &rng);
+  const Matrix before = other.Parameters()[0].value();
+  Status s = nn::LoadModuleParameters(path, &other);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(other.Parameters()[0].value(), before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, UnwritablePathIsIoError) {
+  Rng rng(6);
+  nn::Linear m(2, 2, &rng);
+  Status s = nn::SaveModuleParameters(m, "/nonexistent/dir/file.bin");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace nerglob

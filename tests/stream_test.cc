@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "stream/candidate_base.h"
+#include "stream/message.h"
+#include "stream/tweet_base.h"
+
+namespace nerglob::stream {
+namespace {
+
+Message MakeMessage(int64_t id, const std::string& text) {
+  Message m;
+  m.id = id;
+  m.text = text;
+  return m;
+}
+
+TEST(StreamSourceTest, BatchesInOrder) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < 7; ++i) msgs.push_back(MakeMessage(i, StrFormat("t%d", i)));
+  StreamSource source(std::move(msgs), 3);
+  EXPECT_EQ(source.num_messages(), 7u);
+
+  ASSERT_TRUE(source.HasNext());
+  auto b1 = source.NextBatch();
+  ASSERT_EQ(b1.size(), 3u);
+  EXPECT_EQ(b1[0].id, 0);
+  auto b2 = source.NextBatch();
+  ASSERT_EQ(b2.size(), 3u);
+  EXPECT_EQ(b2[0].id, 3);
+  auto b3 = source.NextBatch();
+  ASSERT_EQ(b3.size(), 1u);  // short final batch
+  EXPECT_EQ(b3[0].id, 6);
+  EXPECT_FALSE(source.HasNext());
+}
+
+TEST(StreamSourceTest, SingleBatchCoversAll) {
+  StreamSource source({MakeMessage(1, "a"), MakeMessage(2, "b")}, 100);
+  auto batch = source.NextBatch();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(source.HasNext());
+}
+
+TEST(TweetBaseTest, PutFindRoundTrip) {
+  TweetBase base;
+  SentenceRecord rec;
+  rec.message = MakeMessage(42, "italy closes schools");
+  rec.local_bio = {1, 0, 0};
+  base.Put(rec);
+  ASSERT_NE(base.Find(42), nullptr);
+  EXPECT_EQ(base.Find(42)->message.text, "italy closes schools");
+  EXPECT_EQ(base.Find(99), nullptr);
+  EXPECT_EQ(base.size(), 1u);
+}
+
+TEST(TweetBaseTest, PutReplacesAndKeepsOrder) {
+  TweetBase base;
+  SentenceRecord a;
+  a.message = MakeMessage(1, "first");
+  SentenceRecord b;
+  b.message = MakeMessage(2, "second");
+  base.Put(a);
+  base.Put(b);
+  SentenceRecord a2;
+  a2.message = MakeMessage(1, "updated");
+  base.Put(a2);
+  EXPECT_EQ(base.size(), 2u);
+  EXPECT_EQ(base.Find(1)->message.text, "updated");
+  ASSERT_EQ(base.ids().size(), 2u);
+  EXPECT_EQ(base.ids()[0], 1);
+  EXPECT_EQ(base.ids()[1], 2);
+}
+
+TEST(TweetBaseTest, MutableAccessUpdatesMentions) {
+  TweetBase base;
+  SentenceRecord rec;
+  rec.message = MakeMessage(5, "x");
+  base.Put(rec);
+  base.FindMutable(5)->mentions.push_back({0, 1, text::EntityType::kLocation});
+  EXPECT_EQ(base.Find(5)->mentions.size(), 1u);
+}
+
+TEST(CandidateBaseTest, MentionPoolGrows) {
+  CandidateBase cb;
+  MentionRecord m1;
+  m1.message_id = 1;
+  m1.local_embedding = Matrix::RowVector({1, 0});
+  EXPECT_EQ(cb.AddMention("coronavirus", m1), 0u);
+  MentionRecord m2;
+  m2.message_id = 2;
+  m2.local_embedding = Matrix::RowVector({0.9f, 0.1f});
+  EXPECT_EQ(cb.AddMention("coronavirus", m2), 1u);
+  EXPECT_EQ(cb.Mentions("coronavirus").size(), 2u);
+  EXPECT_EQ(cb.Mentions("unknown").size(), 0u);
+  EXPECT_EQ(cb.TotalMentions(), 2u);
+}
+
+TEST(CandidateBaseTest, SurfacesInFirstSeenOrder) {
+  CandidateBase cb;
+  cb.AddMention("b", {});
+  cb.AddMention("a", {});
+  cb.AddMention("b", {});
+  ASSERT_EQ(cb.surfaces().size(), 2u);
+  EXPECT_EQ(cb.surfaces()[0], "b");
+  EXPECT_EQ(cb.surfaces()[1], "a");
+}
+
+TEST(CandidateBaseTest, MeanEmbeddingUpdatesIncrementally) {
+  CandidateBase cb;
+  EXPECT_TRUE(cb.MeanEmbedding("x").empty());
+  MentionRecord m1;
+  m1.local_embedding = Matrix::RowVector({2, 0});
+  cb.AddMention("x", m1);
+  EXPECT_FLOAT_EQ(cb.MeanEmbedding("x").At(0, 0), 2.0f);
+  MentionRecord m2;
+  m2.local_embedding = Matrix::RowVector({0, 4});
+  cb.AddMention("x", m2);
+  Matrix mean = cb.MeanEmbedding("x");
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mean.At(0, 1), 2.0f);
+}
+
+TEST(CandidateBaseTest, MeanEmbeddingMatchesBatchMean) {
+  // Incremental running mean == recomputed batch mean, regardless of order.
+  Rng rng(5);
+  CandidateBase cb;
+  std::vector<Matrix> embs;
+  for (int i = 0; i < 17; ++i) {
+    MentionRecord m;
+    m.local_embedding = Matrix::Randn(1, 6, 1.0f, &rng);
+    embs.push_back(m.local_embedding);
+    cb.AddMention("y", m);
+  }
+  Matrix batch(embs.size(), 6);
+  for (size_t i = 0; i < embs.size(); ++i) {
+    std::copy(embs[i].Row(0), embs[i].Row(0) + 6, batch.Row(i));
+  }
+  Matrix want = MeanRows(batch);
+  Matrix got = cb.MeanEmbedding("y");
+  for (size_t c = 0; c < 6; ++c) EXPECT_NEAR(got.At(0, c), want.At(0, c), 1e-5f);
+}
+
+TEST(CandidateBaseTest, MentionsWithoutEmbeddingsSkippedInMean) {
+  CandidateBase cb;
+  cb.AddMention("z", {});  // no embedding
+  EXPECT_TRUE(cb.MeanEmbedding("z").empty());
+  MentionRecord m;
+  m.local_embedding = Matrix::RowVector({3});
+  cb.AddMention("z", m);
+  EXPECT_FLOAT_EQ(cb.MeanEmbedding("z").At(0, 0), 3.0f);  // count excludes empties
+}
+
+TEST(CandidateBaseTest, CandidatePartition) {
+  CandidateBase cb;
+  cb.AddMention("washington", {});
+  cb.AddMention("washington", {});
+  cb.AddMention("washington", {});
+  std::vector<CandidateEntry> cands(2);
+  cands[0].surface = "washington";
+  cands[0].mention_ids = {0, 2};
+  cands[0].is_entity = true;
+  cands[0].type = text::EntityType::kPerson;
+  cands[1].surface = "washington";
+  cands[1].mention_ids = {1};
+  cands[1].is_entity = true;
+  cands[1].type = text::EntityType::kLocation;
+  cb.SetCandidates("washington", cands);
+  const auto& got = cb.Candidates("washington");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].mention_ids.size(), 2u);
+  EXPECT_EQ(got[1].type, text::EntityType::kLocation);
+  EXPECT_TRUE(cb.Candidates("nope").empty());
+}
+
+}  // namespace
+}  // namespace nerglob::stream

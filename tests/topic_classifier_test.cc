@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/topic_classifier.h"
+
+namespace nerglob::data {
+namespace {
+
+class TopicClassifierTest : public ::testing::Test {
+ protected:
+  TopicClassifierTest() : kb_(KnowledgeBase::BuildStandard(10, 5)), gen_(&kb_) {}
+
+  std::vector<stream::Message> MultiTopic(uint64_t seed, size_t n) {
+    DatasetSpec spec = MakeDatasetSpec("D4", 0.1);
+    spec.seed = seed;
+    spec.num_messages = n;
+    return gen_.Generate(spec);
+  }
+
+  KnowledgeBase kb_;
+  StreamGenerator gen_;
+};
+
+TEST_F(TopicClassifierTest, LearnsTopicsAboveChance) {
+  auto train = MultiTopic(100, 500);
+  auto test = MultiTopic(200, 200);
+  TopicClassifier clf(2048, 24, 7);
+  const double loss = clf.Train(train, /*epochs=*/6, 5e-3f, 8);
+  EXPECT_LT(loss, 1.3);
+  const double accuracy = clf.Evaluate(test);
+  // 5 topics -> chance = 0.2. Topical templates should be easy.
+  EXPECT_GT(accuracy, 0.6);
+}
+
+TEST_F(TopicClassifierTest, PredictIsDeterministic) {
+  auto msgs = MultiTopic(300, 10);
+  TopicClassifier clf(1024, 16, 9);
+  for (const auto& m : msgs) {
+    EXPECT_EQ(clf.Predict(m), clf.Predict(m));
+  }
+}
+
+TEST_F(TopicClassifierTest, EvaluateEmptyIsZero) {
+  TopicClassifier clf(512, 8, 1);
+  EXPECT_DOUBLE_EQ(clf.Evaluate({}), 0.0);
+}
+
+TEST_F(TopicClassifierTest, TopicIdMatchesContentTopic) {
+  // After the generator fix, a single-topic stream's entity-bearing
+  // messages must all carry that topic id.
+  DatasetSpec spec = MakeDatasetSpec("D2", 0.05);
+  auto msgs = gen_.Generate(spec);
+  size_t health = 0;
+  for (const auto& m : msgs) {
+    if (m.topic_id == static_cast<int>(Topic::kHealth)) ++health;
+  }
+  EXPECT_EQ(health, msgs.size());  // D2 is a pure health stream
+}
+
+}  // namespace
+}  // namespace nerglob::data

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "trie/candidate_trie.h"
+
+namespace nerglob::trie {
+namespace {
+
+std::vector<std::string> Toks(std::initializer_list<const char*> words) {
+  std::vector<std::string> out;
+  for (const char* w : words) out.emplace_back(w);
+  return out;
+}
+
+TEST(CandidateTrieTest, InsertAndContains) {
+  CandidateTrie trie;
+  EXPECT_TRUE(trie.Insert(Toks({"andy", "beshear"})));
+  EXPECT_FALSE(trie.Insert(Toks({"andy", "beshear"})));  // duplicate
+  EXPECT_TRUE(trie.Contains(Toks({"andy", "beshear"})));
+  EXPECT_FALSE(trie.Contains(Toks({"andy"})));  // prefix is not terminal
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(CandidateTrieTest, EmptyInsertIgnored) {
+  CandidateTrie trie;
+  EXPECT_FALSE(trie.Insert({}));
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_FALSE(trie.Contains({}));
+}
+
+TEST(CandidateTrieTest, PrefixAndFullBothInsertable) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy"}));
+  trie.Insert(Toks({"andy", "beshear"}));
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_TRUE(trie.Contains(Toks({"andy"})));
+  EXPECT_TRUE(trie.Contains(Toks({"andy", "beshear"})));
+}
+
+TEST(CandidateTrieTest, FindSingleTokenMentions) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"coronavirus"}));
+  auto matches = trie.FindLongestMatches(
+      Toks({"the", "coronavirus", "is", "spreading"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{1, 2}));
+}
+
+TEST(CandidateTrieTest, LongestMatchWinsOverPrefix) {
+  // "andy" and "andy beshear" both registered: the longer one is emitted.
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy"}));
+  trie.Insert(Toks({"andy", "beshear"}));
+  auto matches =
+      trie.FindLongestMatches(Toks({"gov", "andy", "beshear", "said"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{1, 3}));
+}
+
+TEST(CandidateTrieTest, PartialExtractionCorrected) {
+  // Paper Sec. V-A: Local NER found only "andy" in one tweet but the full
+  // "andy beshear" elsewhere; the scan must recover the complete mention.
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy", "beshear"}));
+  auto matches = trie.FindLongestMatches(Toks({"andy", "beshear", "update"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{0, 2}));
+}
+
+TEST(CandidateTrieTest, FallbackToShorterTerminalOnDeadEnd) {
+  // "new york" registered, "new york city" not; sentence has "new york
+  // giants": the scan walks to the dead end and keeps the longest terminal.
+  CandidateTrie trie;
+  trie.Insert(Toks({"new", "york"}));
+  auto matches = trie.FindLongestMatches(Toks({"new", "york", "giants"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{0, 2}));
+}
+
+TEST(CandidateTrieTest, MultipleNonOverlappingMatches) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"italy"}));
+  trie.Insert(Toks({"canada"}));
+  auto matches = trie.FindLongestMatches(
+      Toks({"italy", "and", "canada", "close", "borders"}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (TokenSpan{0, 1}));
+  EXPECT_EQ(matches[1], (TokenSpan{2, 3}));
+}
+
+TEST(CandidateTrieTest, AdjacentMatchesDoNotOverlap) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"us"}));
+  auto matches = trie.FindLongestMatches(Toks({"us", "us", "us"}));
+  ASSERT_EQ(matches.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(matches[i], (TokenSpan{i, i + 1}));
+  }
+}
+
+TEST(CandidateTrieTest, ScanResumesAfterMatch) {
+  // After matching [0,2), scanning resumes at 2 — the overlapping candidate
+  // starting at token 1 is not emitted.
+  CandidateTrie trie;
+  trie.Insert(Toks({"justice", "department"}));
+  trie.Insert(Toks({"department", "store"}));
+  auto matches =
+      trie.FindLongestMatches(Toks({"justice", "department", "store"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{0, 2}));
+}
+
+TEST(CandidateTrieTest, MaxSpanLimitsLookahead) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"a", "b", "c", "d"}));
+  auto limited = trie.FindLongestMatches(Toks({"a", "b", "c", "d"}), 3);
+  EXPECT_TRUE(limited.empty());  // match longer than the window
+  auto full = trie.FindLongestMatches(Toks({"a", "b", "c", "d"}), 4);
+  ASSERT_EQ(full.size(), 1u);
+}
+
+TEST(CandidateTrieTest, NoMatchesInUnrelatedSentence) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"nhs"}));
+  EXPECT_TRUE(trie.FindLongestMatches(Toks({"totally", "unrelated"})).empty());
+  EXPECT_TRUE(trie.FindLongestMatches({}).empty());
+}
+
+TEST(CandidateTrieTest, ManySurfaceFormsScale) {
+  CandidateTrie trie;
+  for (int i = 0; i < 2000; ++i) {
+    trie.Insert({"entity" + std::to_string(i)});
+  }
+  EXPECT_EQ(trie.size(), 2000u);
+  auto matches = trie.FindLongestMatches(Toks({"entity1999", "entity0"}));
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nerglob::trie
