@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/agglomerative.h"
+#include "common/thread_pool.h"
 #include "core/entity_classifier.h"
 #include "core/phrase_embedder.h"
 #include "lm/micro_bert.h"
 #include "nn/crf.h"
+#include "tensor/matrix.h"
 #include "text/tokenizer.h"
 #include "trie/candidate_trie.h"
 
@@ -105,6 +107,67 @@ void BM_MicroBertEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MicroBertEncode);
+
+// The transformer's hot matmul shapes: (T, d) x (d, d) per projection and
+// (T, d) x (d, ff) in the feed-forward, d = 64. Args: {m, k, n}.
+void BM_Gemm(benchmark::State& state) {
+  Rng rng(6);
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Matrix a = Matrix::Randn(m, k, 1.0f, &rng);
+  Matrix b = Matrix::Randn(k, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_Gemm)
+    ->Args({48, 64, 64})
+    ->Args({48, 64, 128})
+    ->Args({256, 64, 64})
+    ->Args({256, 256, 256});
+
+void BM_GemmFusedBias(benchmark::State& state) {
+  Rng rng(7);
+  const size_t m = static_cast<size_t>(state.range(0));
+  Matrix a = Matrix::Randn(m, 64, 1.0f, &rng);
+  Matrix b = Matrix::Randn(64, 64, 1.0f, &rng);
+  Matrix bias = Matrix::Randn(1, 64, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulAddBias(a, b, bias));
+  }
+}
+BENCHMARK(BM_GemmFusedBias)->Arg(48)->Arg(256);
+
+// Thread-count sweep over a large parallel-eligible gemm. Arg: threads.
+void BM_GemmParallel(benchmark::State& state) {
+  Rng rng(8);
+  Matrix a = Matrix::Randn(512, 256, 1.0f, &rng);
+  Matrix b = Matrix::Randn(256, 256, 1.0f, &rng);
+  SetParallelism(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  SetParallelism(0);  // back to the env/hardware default
+}
+BENCHMARK(BM_GemmParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// Thread-count sweep over batched sentence encoding (the Local NER hot
+// loop). Arg: threads.
+void BM_EncodeBatch(benchmark::State& state) {
+  lm::MicroBertConfig config;
+  lm::MicroBert model(config, 9);
+  text::Tokenizer tokenizer;
+  std::vector<std::vector<text::Token>> sentences(32, tokenizer.Tokenize(kTweet));
+  SetParallelism(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EncodeBatch(sentences));
+  }
+  SetParallelism(0);
+}
+BENCHMARK(BM_EncodeBatch)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -48,6 +48,25 @@ Var MatMul(const Var& a, const Var& b) {
   });
 }
 
+Var LinearForward(const Var& x, const Var& w, const Var& bias) {
+  NERGLOB_CHECK_EQ(bias.rows(), 1u);
+  NERGLOB_CHECK_EQ(bias.cols(), w.cols());
+  Matrix out = nerglob::MatMulAddBias(x.value(), w.value(), bias.value());
+  return MakeOp(std::move(out), {x, w, bias}, [](Node& n) {
+    Node& px = *n.parents_[0];
+    Node& pw = *n.parents_[1];
+    Node& pb = *n.parents_[2];
+    Accumulate(px, MatMulTransB(n.grad_, pw.value_));
+    Accumulate(pw, MatMulTransA(px.value_, n.grad_));
+    Matrix db(1, n.grad_.cols());
+    for (size_t r = 0; r < n.grad_.rows(); ++r) {
+      const float* row = n.grad_.Row(r);
+      for (size_t c = 0; c < n.grad_.cols(); ++c) db.At(0, c) += row[c];
+    }
+    Accumulate(pb, db);
+  });
+}
+
 Var Add(const Var& a, const Var& b) {
   return MakeOp(nerglob::Add(a.value(), b.value()), {a, b}, [](Node& n) {
     Accumulate(*n.parents_[0], n.grad_);

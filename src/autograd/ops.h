@@ -15,6 +15,11 @@ namespace nerglob::ag {
 /// (m,k) x (k,n) -> (m,n).
 Var MatMul(const Var& a, const Var& b);
 
+/// Fused dense layer: x (m,in) * w (in,out) + bias (1,out) -> (m,out).
+/// One graph node and one output pass instead of MatMul + AddRowBroadcast;
+/// values and gradients match the unfused pair bit-for-bit.
+Var LinearForward(const Var& x, const Var& w, const Var& bias);
+
 /// Elementwise a + b (same shape).
 Var Add(const Var& a, const Var& b);
 

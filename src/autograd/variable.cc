@@ -4,13 +4,18 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace nerglob::ag {
 
-uint64_t Node::next_order_ = 0;
+std::atomic<uint64_t> Node::next_order_{0};
 
 void Var::Backward() const {
   NERGLOB_CHECK(defined());
+  NERGLOB_CHECK(!InParallelRegion())
+      << "autograd Backward() must not run inside a ParallelFor body: the "
+         "tape mutates shared gradient state, so training is single-threaded "
+         "(inference-parallel, training-serial)";
   NERGLOB_CHECK(rows() == 1 && cols() == 1)
       << "Backward() must start from a scalar (1x1) variable";
 

@@ -1,0 +1,183 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/check.h"
+
+namespace nerglob {
+
+namespace {
+
+size_t HardwareDefault() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t EnvDefault() {
+  const char* env = std::getenv("NERGLOB_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) {
+      return static_cast<size_t>(value);
+    }
+  }
+  return HardwareDefault();
+}
+
+std::atomic<size_t>& ParallelismKnob() {
+  static std::atomic<size_t> knob{EnvDefault()};
+  return knob;
+}
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII marker for "this thread is executing a ParallelFor chunk".
+class ParallelRegionScope {
+ public:
+  ParallelRegionScope() : prev_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ParallelRegionScope() { t_in_parallel_region = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+size_t Parallelism() { return ParallelismKnob().load(std::memory_order_relaxed); }
+
+void SetParallelism(size_t n) {
+  NERGLOB_CHECK(!InParallelRegion())
+      << "SetParallelism must not be called from a ParallelFor body";
+  ParallelismKnob().store(n == 0 ? EnvDefault() : n,
+                          std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(std::max<size_t>(num_threads, 1));
+  for (size_t i = 0; i < std::max<size_t>(num_threads, 1); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NERGLOB_CHECK(!stop_) << "Schedule on a stopped ThreadPool";
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  // Leaked on purpose: outliving every static destructor avoids
+  // shutdown-order races with worker threads.
+  static ThreadPool* const pool =
+      new ThreadPool(std::max(HardwareDefault(), Parallelism()));
+  return pool;
+}
+
+void ParallelForRange(size_t begin, size_t end, size_t grain,
+                      const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t range = end - begin;
+  const size_t num_chunks = (range + grain - 1) / grain;
+  const size_t parallelism = Parallelism();
+
+  // Serial fast path: single chunk, parallelism off, or nested call.
+  if (num_chunks == 1 || parallelism <= 1 || InParallelRegion()) {
+    ParallelRegionScope scope;
+    fn(begin, end);
+    return;
+  }
+
+  // Shared chunk cursor: executors claim chunks dynamically, but each chunk
+  // covers a fixed index range, so the output is schedule-independent.
+  struct State {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first exception wins, guarded by mu
+  };
+  auto state = std::make_shared<State>();
+
+  auto run_chunks = [state, begin, end, grain, num_chunks, &fn]() {
+    ParallelRegionScope scope;
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t chunk_begin = begin + c * grain;
+      const size_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // One runner per extra lane; the caller is the first lane. Runners that
+  // arrive after all chunks were claimed exit immediately, so requesting
+  // more lanes than there are pool workers is harmless.
+  const size_t extra = std::min(parallelism - 1, num_chunks - 1);
+  ThreadPool* pool = ThreadPool::Global();
+  for (size_t i = 0; i < extra; ++i) pool->Schedule(run_chunks);
+  run_chunks();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&state, num_chunks] {
+      return state->done_chunks.load(std::memory_order_acquire) == num_chunks;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForRange(begin, end, grain, [&fn](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace nerglob

@@ -1,0 +1,83 @@
+#ifndef NERGLOB_COMMON_THREAD_POOL_H_
+#define NERGLOB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nerglob {
+
+/// Process-wide inference parallelism knob. First call reads the
+/// NERGLOB_THREADS environment variable; when unset (or invalid) the value
+/// defaults to std::thread::hardware_concurrency(). Always >= 1.
+size_t Parallelism();
+
+/// Overrides the parallelism knob at runtime (benchmark sweeps, tests).
+/// n == 0 resets to the environment/hardware default. Must not be called
+/// from inside a ParallelFor body.
+void SetParallelism(size_t n);
+
+/// True while the calling thread is executing a ParallelFor chunk (on a
+/// worker or on the caller thread participating in the loop). Used to keep
+/// non-thread-safe machinery — notably autograd Backward() — out of
+/// parallel regions, and to run nested ParallelFor calls inline.
+bool InParallelRegion();
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+/// Tasks must not throw; any exception is captured by ParallelFor and
+/// rethrown on the calling thread. Destruction drains nothing: pending
+/// tasks are discarded after the ones already running finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> fn);
+
+  /// The lazily-created process-wide pool used by ParallelFor. Sized
+  /// max(hardware_concurrency, Parallelism()) at first use and never
+  /// resized; ParallelFor stays correct (and deterministic) even when the
+  /// knob asks for more parallelism than there are workers.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into contiguous
+/// chunks of at most `grain` indices. Chunk boundaries depend only on
+/// (begin, end, grain) — never on the thread count — and every chunk writes
+/// its own index range, so results are bit-for-bit identical for any
+/// NERGLOB_THREADS setting ("deterministic ordered merge"). The calling
+/// thread participates in execution and blocks until every chunk finished.
+/// Runs inline (serially) when Parallelism() == 1, when the range fits in
+/// one chunk, or when already inside a parallel region (no nested pools).
+/// The first exception thrown by fn is rethrown on the calling thread after
+/// all chunks complete.
+void ParallelForRange(size_t begin, size_t end, size_t grain,
+                      const std::function<void(size_t, size_t)>& fn);
+
+/// Per-index convenience wrapper over ParallelForRange: fn(i) for each i in
+/// [begin, end), chunked by `grain`. Same determinism guarantee.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace nerglob
+
+#endif  // NERGLOB_COMMON_THREAD_POOL_H_

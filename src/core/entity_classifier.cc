@@ -22,17 +22,26 @@ ag::Var EntityClassifier::Pool(const Matrix& members) const {
   return ag::MatMul(weights, locals);                     // (1, dim), Eq. 8
 }
 
+Matrix EntityClassifier::PoolValue(const Matrix& members) const {
+  NERGLOB_CHECK_GT(members.rows(), 0u);
+  NERGLOB_CHECK_EQ(members.cols(), dim_);
+  if (pooling_ == PoolingMode::kMean) return MeanRows(members);
+  const Matrix scores = attention_.Apply(members);             // (m, 1)
+  const Matrix weights = SoftmaxRows(scores.Transposed());     // (1, m)
+  return MatMul(weights, members);                             // (1, dim)
+}
+
 ag::Var EntityClassifier::ForwardLogits(const Matrix& members) const {
   return mlp_.Forward(Pool(members));
 }
 
 Matrix EntityClassifier::GlobalEmbedding(const Matrix& members) const {
-  return Pool(members).value();
+  return PoolValue(members);
 }
 
 EntityClassifier::Prediction EntityClassifier::Predict(
     const Matrix& members) const {
-  const Matrix probs = SoftmaxRows(ForwardLogits(members).value());
+  const Matrix probs = SoftmaxRows(mlp_.Apply(PoolValue(members)));
   Prediction pred;
   pred.cls = 0;
   for (int c = 1; c < kNumClassifierClasses; ++c) {

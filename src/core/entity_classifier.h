@@ -61,6 +61,11 @@ class EntityClassifier : public nn::Module {
  private:
   ag::Var Pool(const Matrix& members) const;
 
+  /// Graph-free mirror of Pool (bit-identical value); the eval paths
+  /// (Predict, GlobalEmbedding) use it so ParallelFor bodies never build
+  /// autograd nodes.
+  Matrix PoolValue(const Matrix& members) const;
+
   size_t dim_;
   PoolingMode pooling_;
   nn::Linear attention_;  // dim -> 1 (Eq. 6)

@@ -1,6 +1,7 @@
 #include "core/local_ner.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace nerglob::core {
 
@@ -32,20 +33,35 @@ std::string SpanSurfaceString(const stream::Message& message,
 std::vector<LocalNer::Output> LocalNer::ProcessBatch(
     const std::vector<stream::Message>& batch, stream::TweetBase* tweet_base,
     trie::CandidateTrie* trie) const {
+  // Phase 1 (parallel): the per-sentence encoder forwards dominate the cost
+  // and are independent, so they fan out over the thread pool. Results land
+  // in a pre-sized vector indexed by batch position, which keeps them in
+  // input order regardless of scheduling.
+  std::vector<lm::EncodeResult> encoded_batch(batch.size());
+  ParallelFor(0, batch.size(), /*grain=*/1, [&](size_t i) {
+    if (!batch[i].tokens.empty()) {
+      encoded_batch[i] = model_->Encode(batch[i].tokens);
+    }
+  });
+
+  // Phase 2 (serial merge, input order): TweetBase puts and trie inserts
+  // happen exactly as in a sequential pass, so new-surface discovery order
+  // and all downstream state are independent of the thread count.
   std::vector<Output> outputs;
   outputs.reserve(batch.size());
-  for (const stream::Message& message : batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const stream::Message& message = batch[i];
     Output out;
     out.message_id = message.id;
     if (message.tokens.empty()) {
       outputs.push_back(std::move(out));
       continue;
     }
-    lm::EncodeResult encoded = model_->Encode(message.tokens);
+    lm::EncodeResult& encoded = encoded_batch[i];
 
     stream::SentenceRecord record;
     record.message = message;
-    record.token_embeddings = encoded.embeddings;
+    record.token_embeddings = std::move(encoded.embeddings);
     record.local_bio = encoded.bio_labels;
     tweet_base->Put(std::move(record));
 

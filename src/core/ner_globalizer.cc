@@ -7,6 +7,7 @@
 #include "cluster/agglomerative.h"
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace nerglob::core {
@@ -125,10 +126,19 @@ void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
 void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
                                         const trie::CandidateTrie& trie) {
   if (trie.size() == 0) return;
-  std::unordered_set<std::string> touched;
-  for (int64_t id : ids) {
+
+  // Phase 1 (parallel): per-sentence trie scans and phrase embeddings are
+  // independent reads of the TweetBase, so they fan out over the thread
+  // pool. Found mentions land in a per-id slot, preserving sentence order.
+  struct Found {
+    std::string surface;
+    stream::MentionRecord mention;
+  };
+  std::vector<std::vector<Found>> found(ids.size());
+  ParallelFor(0, ids.size(), /*grain=*/4, [&](size_t idx) {
+    const int64_t id = ids[idx];
     const stream::SentenceRecord* record = tweet_base_.Find(id);
-    if (record == nullptr || record->message.tokens.empty()) continue;
+    if (record == nullptr || record->message.tokens.empty()) return;
     std::vector<std::string> match_tokens;
     match_tokens.reserve(record->message.tokens.size());
     for (const auto& tok : record->message.tokens) match_tokens.push_back(tok.match);
@@ -138,19 +148,94 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
       // Mentions truncated away by the encoder have no embeddings; skip.
       if (span.begin >= record->token_embeddings.rows()) continue;
       const size_t emb_end = std::min(span.end, record->token_embeddings.rows());
-      stream::MentionRecord mention;
-      mention.message_id = id;
-      mention.begin_token = span.begin;
-      mention.end_token = span.end;
-      mention.local_embedding =
+      Found f;
+      f.mention.message_id = id;
+      f.mention.begin_token = span.begin;
+      f.mention.end_token = span.end;
+      f.mention.local_embedding =
           embedder_->Embed(record->token_embeddings, span.begin, emb_end);
-      const std::string surface =
-          SpanSurfaceString(record->message, span.begin, span.end);
-      candidate_base_.AddMention(surface, std::move(mention));
-      touched.insert(surface);
+      f.surface = SpanSurfaceString(record->message, span.begin, span.end);
+      found[idx].push_back(std::move(f));
+    }
+  });
+
+  // Phase 2 (serial merge, sentence order): AddMention assigns mention ids
+  // by arrival, so merging in id order keeps the CandidateBase identical to
+  // a sequential pass for any thread count.
+  std::unordered_set<std::string> touched;
+  for (std::vector<Found>& per_id : found) {
+    for (Found& f : per_id) {
+      candidate_base_.AddMention(f.surface, std::move(f.mention));
+      touched.insert(std::move(f.surface));
     }
   }
   for (const auto& surface : touched) dirty_surfaces_.push_back(surface);
+}
+
+std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
+    const std::string& surface) const {
+  const auto& pool = candidate_base_.Mentions(surface);
+  if (pool.empty()) return {};
+  const size_t n = pool.size();
+  const size_t dim = pool[0].local_embedding.cols();
+
+  // Cluster a bounded prefix; assign the tail to the nearest centroid.
+  const size_t head = std::min(n, kMaxClusterPool);
+  Matrix head_embs(head, dim);
+  for (size_t i = 0; i < head; ++i) {
+    std::copy(pool[i].local_embedding.Row(0),
+              pool[i].local_embedding.Row(0) + dim, head_embs.Row(i));
+  }
+  cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
+      head_embs, config_.cluster_threshold);
+
+  std::vector<std::vector<size_t>> members(clustering.num_clusters);
+  for (size_t i = 0; i < head; ++i) {
+    members[static_cast<size_t>(clustering.assignments[i])].push_back(i);
+  }
+  if (n > head) {
+    // Centroids of the head clusters.
+    std::vector<Matrix> centroids(clustering.num_clusters, Matrix(1, dim));
+    for (size_t c = 0; c < clustering.num_clusters; ++c) {
+      for (size_t i : members[c]) {
+        centroids[c].AddInPlace(pool[i].local_embedding);
+      }
+      centroids[c].Scale(1.0f / static_cast<float>(members[c].size()));
+    }
+    for (size_t i = head; i < n; ++i) {
+      size_t best = 0;
+      float best_dist = CosineDistance(pool[i].local_embedding, centroids[0]);
+      for (size_t c = 1; c < clustering.num_clusters; ++c) {
+        const float d = CosineDistance(pool[i].local_embedding, centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      members[best].push_back(i);
+    }
+  }
+
+  std::vector<stream::CandidateEntry> entries;
+  entries.reserve(members.size());
+  for (const auto& cluster_members : members) {
+    if (cluster_members.empty()) continue;
+    Matrix member_embs(cluster_members.size(), dim);
+    for (size_t j = 0; j < cluster_members.size(); ++j) {
+      std::copy(pool[cluster_members[j]].local_embedding.Row(0),
+                pool[cluster_members[j]].local_embedding.Row(0) + dim,
+                member_embs.Row(j));
+    }
+    const EntityClassifier::Prediction pred = classifier_->Predict(member_embs);
+    stream::CandidateEntry entry;
+    entry.surface = surface;
+    entry.mention_ids = cluster_members;
+    entry.is_entity = pred.is_entity();
+    if (pred.is_entity()) entry.type = pred.type();
+    entry.confidence = pred.confidence;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 void NerGlobalizer::RefreshCandidates() {
@@ -159,69 +244,17 @@ void NerGlobalizer::RefreshCandidates() {
       std::unique(dirty_surfaces_.begin(), dirty_surfaces_.end()),
       dirty_surfaces_.end());
 
-  for (const std::string& surface : dirty_surfaces_) {
-    const auto& pool = candidate_base_.Mentions(surface);
-    if (pool.empty()) continue;
-    const size_t n = pool.size();
-    const size_t dim = pool[0].local_embedding.cols();
-
-    // Cluster a bounded prefix; assign the tail to the nearest centroid.
-    const size_t head = std::min(n, kMaxClusterPool);
-    Matrix head_embs(head, dim);
-    for (size_t i = 0; i < head; ++i) {
-      std::copy(pool[i].local_embedding.Row(0),
-                pool[i].local_embedding.Row(0) + dim, head_embs.Row(i));
-    }
-    cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
-        head_embs, config_.cluster_threshold);
-
-    std::vector<std::vector<size_t>> members(clustering.num_clusters);
-    for (size_t i = 0; i < head; ++i) {
-      members[static_cast<size_t>(clustering.assignments[i])].push_back(i);
-    }
-    if (n > head) {
-      // Centroids of the head clusters.
-      std::vector<Matrix> centroids(clustering.num_clusters, Matrix(1, dim));
-      for (size_t c = 0; c < clustering.num_clusters; ++c) {
-        for (size_t i : members[c]) {
-          centroids[c].AddInPlace(pool[i].local_embedding);
-        }
-        centroids[c].Scale(1.0f / static_cast<float>(members[c].size()));
-      }
-      for (size_t i = head; i < n; ++i) {
-        size_t best = 0;
-        float best_dist = CosineDistance(pool[i].local_embedding, centroids[0]);
-        for (size_t c = 1; c < clustering.num_clusters; ++c) {
-          const float d = CosineDistance(pool[i].local_embedding, centroids[c]);
-          if (d < best_dist) {
-            best_dist = d;
-            best = c;
-          }
-        }
-        members[best].push_back(i);
-      }
-    }
-
-    std::vector<stream::CandidateEntry> entries;
-    entries.reserve(members.size());
-    for (const auto& cluster_members : members) {
-      if (cluster_members.empty()) continue;
-      Matrix member_embs(cluster_members.size(), dim);
-      for (size_t j = 0; j < cluster_members.size(); ++j) {
-        std::copy(pool[cluster_members[j]].local_embedding.Row(0),
-                  pool[cluster_members[j]].local_embedding.Row(0) + dim,
-                  member_embs.Row(j));
-      }
-      const EntityClassifier::Prediction pred = classifier_->Predict(member_embs);
-      stream::CandidateEntry entry;
-      entry.surface = surface;
-      entry.mention_ids = cluster_members;
-      entry.is_entity = pred.is_entity();
-      if (pred.is_entity()) entry.type = pred.type();
-      entry.confidence = pred.confidence;
-      entries.push_back(std::move(entry));
-    }
-    candidate_base_.SetCandidates(surface, std::move(entries));
+  // Phase 1 (parallel): per-surface clustering + classification only reads
+  // the CandidateBase. Phase 2 writes the results back serially in sorted
+  // surface order, so the base's state is thread-count independent.
+  std::vector<std::vector<stream::CandidateEntry>> built(dirty_surfaces_.size());
+  ParallelFor(0, dirty_surfaces_.size(), /*grain=*/1, [&](size_t i) {
+    built[i] = BuildCandidates(dirty_surfaces_[i]);
+  });
+  for (size_t i = 0; i < dirty_surfaces_.size(); ++i) {
+    // Empty means the surface had no mentions (seed behavior: skip).
+    if (built[i].empty()) continue;
+    candidate_base_.SetCandidates(dirty_surfaces_[i], std::move(built[i]));
   }
   dirty_surfaces_.clear();
 }

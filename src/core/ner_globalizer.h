@@ -93,7 +93,15 @@ class NerGlobalizer {
                            const trie::CandidateTrie& trie);
 
   /// Re-clusters and re-classifies every surface form whose pool changed.
+  /// Per-surface work (clustering + classification) runs in parallel; the
+  /// CandidateBase writes happen serially in sorted-surface order.
   void RefreshCandidates();
+
+  /// Clusters one surface form's mention pool and classifies each cluster.
+  /// Pure read of the CandidateBase — safe to run concurrently across
+  /// surfaces.
+  std::vector<stream::CandidateEntry> BuildCandidates(
+      const std::string& surface) const;
 
   const lm::MicroBert* model_;
   const PhraseEmbedder* embedder_;

@@ -1,5 +1,7 @@
 #include "core/phrase_embedder.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace nerglob::core {
@@ -22,7 +24,23 @@ ag::Var PhraseEmbedder::Forward(const Matrix& token_embeddings, size_t begin,
 
 Matrix PhraseEmbedder::Embed(const Matrix& token_embeddings, size_t begin,
                              size_t end) const {
-  return Forward(token_embeddings, begin, end).value();
+  NERGLOB_CHECK_LT(begin, end);
+  NERGLOB_CHECK_LE(end, token_embeddings.rows());
+  NERGLOB_CHECK_EQ(token_embeddings.cols(), dim_);
+  // Graph-free mirror of Forward (same ops, same accumulation order, so the
+  // value is bit-identical); safe to call from ParallelFor bodies because it
+  // touches no autograd state.
+  Matrix pooled = MeanRows(token_embeddings.SliceRows(begin, end - begin));
+  if (normalize_) {
+    constexpr float kEps = 1e-8f;  // ag::L2NormalizeRows default
+    const float* row = pooled.Row(0);
+    double s = 0.0;
+    for (size_t c = 0; c < dim_; ++c) s += static_cast<double>(row[c]) * row[c];
+    const float norm = static_cast<float>(std::sqrt(s)) + kEps;
+    float* o = pooled.Row(0);
+    for (size_t c = 0; c < dim_; ++c) o[c] = o[c] / norm;
+  }
+  return dense_.Apply(pooled);
 }
 
 }  // namespace nerglob::core

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "nn/optimizer.h"
 #include "text/tokenizer.h"
 
@@ -99,6 +100,15 @@ EncodeResult MicroBert::Encode(const std::vector<text::Token>& tokens) const {
   // Tokens beyond max_seq_len were truncated by the encoder; pad labels
   // with O so the caller sees one label per input token.
   out.bio_labels.resize(tokens.size(), text::kBioOutside);
+  return out;
+}
+
+std::vector<EncodeResult> MicroBert::EncodeBatch(
+    const std::vector<std::vector<text::Token>>& sentences) const {
+  std::vector<EncodeResult> out(sentences.size());
+  ParallelFor(0, sentences.size(), /*grain=*/1, [&](size_t i) {
+    if (!sentences[i].empty()) out[i] = Encode(sentences[i]);
+  });
   return out;
 }
 

@@ -53,8 +53,17 @@ class MicroBert : public nn::Module {
   ForwardResult Forward(const std::vector<text::Token>& tokens, bool training,
                         Rng* dropout_rng) const;
 
-  /// Eval-mode encoding with argmax labels.
+  /// Eval-mode encoding with argmax labels. Thread-safe: the forward pass
+  /// only reads parameters (dropout is a no-op at eval), so concurrent
+  /// Encode calls build disjoint tapes.
   EncodeResult Encode(const std::vector<text::Token>& tokens) const;
+
+  /// Encodes many sentences, one per ParallelFor lane over the shared
+  /// thread pool. Results keep input order; empty sentences are skipped and
+  /// left as default EncodeResult. Output is bit-identical for any
+  /// NERGLOB_THREADS setting.
+  std::vector<EncodeResult> EncodeBatch(
+      const std::vector<std::vector<text::Token>>& sentences) const;
 
   std::vector<ag::Var> Parameters() const override;
 

@@ -16,7 +16,50 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng) {
 }
 
 ag::Var Linear::Forward(const ag::Var& x) const {
-  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+  return ag::LinearForward(x, weight_, bias_);
+}
+
+const Matrix& Linear::TransposedWeight() const {
+  TransposeCache& cache = *transpose_cache_;
+  const uint64_t want = weight_.value_version();
+  // Double-checked: the acquire load pairs with the release store below, so
+  // a reader that sees `version == want` also sees the matching `value`.
+  if (cache.version.load(std::memory_order_acquire) != want) {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.version.load(std::memory_order_relaxed) != want) {
+      cache.value = weight_.value().Transposed();
+      cache.version.store(want, std::memory_order_release);
+    }
+  }
+  return cache.value;
+}
+
+Matrix Linear::Apply(const Matrix& x) const {
+  const Matrix& w = weight_.value();
+  const Matrix& b = bias_.value();
+  NERGLOB_CHECK_EQ(x.cols(), w.rows());
+  const size_t m = x.rows();
+  const size_t in = w.rows();
+  const size_t out = w.cols();
+  if (m == 1 || out <= 4) {
+    // Dot-product form over contiguous W^T rows. Summation over the input
+    // dimension runs in ascending order, matching the gemm kernel's k loop,
+    // so the result is bit-identical to Forward(...).value().
+    const Matrix& wt = TransposedWeight();
+    Matrix y(m, out);
+    for (size_t r = 0; r < m; ++r) {
+      const float* xrow = x.Row(r);
+      float* yrow = y.Row(r);
+      for (size_t j = 0; j < out; ++j) {
+        const float* wrow = wt.Row(j);
+        float acc = 0.0f;
+        for (size_t p = 0; p < in; ++p) acc += xrow[p] * wrow[p];
+        yrow[j] = acc + b.At(0, j);
+      }
+    }
+    return y;
+  }
+  return MatMulAddBias(x, w, b);
 }
 
 Embedding::Embedding(size_t vocab_size, size_t dim, Rng* rng) {
@@ -104,6 +147,20 @@ ag::Var Mlp::Forward(const ag::Var& x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+Matrix Mlp::Apply(const Matrix& x) const {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Apply(h);
+    if (i + 1 < layers_.size()) {
+      for (size_t k = 0; k < h.size(); ++k) {
+        const float v = h.data()[k];
+        h.data()[k] = v > 0.0f ? v : 0.0f;
+      }
+    }
   }
   return h;
 }

@@ -1,6 +1,11 @@
 #ifndef NERGLOB_NN_LAYERS_H_
 #define NERGLOB_NN_LAYERS_H_
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -15,17 +20,37 @@ class Linear : public Module {
  public:
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
-  /// x: (m, in) -> (m, out).
+  /// x: (m, in) -> (m, out). Builds graph nodes (training / autograd path).
   ag::Var Forward(const ag::Var& x) const;
+
+  /// Raw inference path: same math as Forward but no graph nodes. Uses the
+  /// cached transposed weight for single-row / tiny-output inputs (dot
+  /// products over contiguous W^T rows beat the column-strided gemm there).
+  /// Safe to call concurrently from ParallelFor bodies.
+  Matrix Apply(const Matrix& x) const;
 
   std::vector<ag::Var> Parameters() const override { return {weight_, bias_}; }
 
   const ag::Var& weight() const { return weight_; }
   const ag::Var& bias() const { return bias_; }
 
+  /// W^T (out, in), cached and invalidated via the weight's version stamp
+  /// (bumped by every mutable_value() access, i.e. each optimizer step).
+  const Matrix& TransposedWeight() const;
+
  private:
+  /// Copies of a Linear share the same parameter nodes, so they share the
+  /// cache too (shared_ptr keeps the layer copyable for std::vector use).
+  struct TransposeCache {
+    std::mutex mu;
+    std::atomic<uint64_t> version{std::numeric_limits<uint64_t>::max()};
+    Matrix value;
+  };
+
   ag::Var weight_;  // (in, out)
   ag::Var bias_;    // (1, out)
+  std::shared_ptr<TransposeCache> transpose_cache_ =
+      std::make_shared<TransposeCache>();
 };
 
 /// Token embedding table with gather-based lookup.
@@ -93,6 +118,10 @@ class Mlp : public Module {
   Mlp(const std::vector<size_t>& dims, Rng* rng);
 
   ag::Var Forward(const ag::Var& x) const;
+
+  /// Raw inference path mirroring Forward (Linear::Apply + ReLU between
+  /// layers, linear last); no graph nodes, thread-safe.
+  Matrix Apply(const Matrix& x) const;
 
   std::vector<ag::Var> Parameters() const override;
 

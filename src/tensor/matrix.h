@@ -14,8 +14,10 @@ namespace nerglob {
 
 /// Dense row-major float matrix. This is the single numeric container used
 /// throughout the library (vectors are 1xN or Nx1 matrices). Kernels are
-/// BLAS-free but written cache-friendly (ikj gemm); model sizes in this
-/// project are small (d <= 128) so this is more than adequate.
+/// BLAS-free but cache-blocked (register-tiled i-k-j gemm with B-panel
+/// reuse) and, for large outputs, row-split over the shared thread pool
+/// (see common/thread_pool.h); results are bit-identical for any
+/// NERGLOB_THREADS setting.
 class Matrix {
  public:
   /// An empty 0x0 matrix.
@@ -119,6 +121,12 @@ class Matrix {
 
 /// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Fused out = a * b + bias with `bias` (1 x n) broadcast over rows: one
+/// pass over the output instead of MatMul followed by AddRowBroadcast.
+/// The bias is added after the full k accumulation, so results match the
+/// unfused pair bit-for-bit.
+Matrix MatMulAddBias(const Matrix& a, const Matrix& b, const Matrix& bias);
 
 /// out = a^T * b. Shapes: (k,m) x (k,n) -> (m,n).
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);

@@ -62,6 +62,36 @@ TEST(OpsGradTest, MatMulBothSides) {
   EXPECT_LT(MaxGradientError(loss, b), kTol);
 }
 
+TEST(OpsGradTest, LinearForwardAllThreeInputs) {
+  Var x = Param(3, 4, 21);
+  Var w = Param(4, 5, 22);
+  Var b = Param(1, 5, 23);
+  auto loss = [&] { return MeanAll(LinearForward(x, w, b)); };
+  EXPECT_LT(MaxGradientError(loss, x), kTol);
+  EXPECT_LT(MaxGradientError(loss, w), kTol);
+  EXPECT_LT(MaxGradientError(loss, b), kTol);
+}
+
+TEST(OpsGradTest, LinearForwardMatchesUnfusedPair) {
+  Var x = Param(6, 8, 24);
+  Var w = Param(8, 3, 25);
+  Var b = Param(1, 3, 26);
+  Var fused = LinearForward(x, w, b);
+  Var unfused = AddRowBroadcast(MatMul(x, w), b);
+  EXPECT_EQ(fused.value(), unfused.value());
+
+  // Gradients must match bit-for-bit too (same backward decomposition).
+  MeanAll(fused).Backward();
+  Matrix gx = x.grad(), gw = w.grad(), gb = b.grad();
+  x.ZeroGrad();
+  w.ZeroGrad();
+  b.ZeroGrad();
+  MeanAll(unfused).Backward();
+  EXPECT_EQ(gx, x.grad());
+  EXPECT_EQ(gw, w.grad());
+  EXPECT_EQ(gb, b.grad());
+}
+
 TEST(OpsGradTest, AddSubMul) {
   Var a = Param(2, 3, 3);
   Var b = Param(2, 3, 4);

@@ -77,6 +77,94 @@ TEST(MatrixTest, MatMulTransVariantsAgreeWithExplicitTranspose) {
   }
 }
 
+/// Naive reference: one double accumulator per output element, no tiling,
+/// no skipping — the ground truth the blocked kernel must match.
+Matrix ReferenceGemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) {
+        acc += static_cast<double>(a.At(i, p)) * b.At(p, j);
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(MatrixTest, BlockedGemmMatchesReference) {
+  Rng rng(11);
+  // Shapes around the register-tile width (16): below, at, above, and the
+  // transformer's (T, 64) x (64, 64) hot shape.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {17, 33, 19}, {48, 64, 64}};
+  for (const auto& s : shapes) {
+    Matrix a = Matrix::Randn(s[0], s[1], 1.0f, &rng);
+    Matrix b = Matrix::Randn(s[1], s[2], 1.0f, &rng);
+    Matrix got = MatMul(a, b);
+    Matrix want = ReferenceGemm(a, b);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5f * s[1])
+          << "shape " << s[0] << "x" << s[1] << "x" << s[2] << " elem " << i;
+    }
+  }
+}
+
+TEST(MatrixTest, BlockedGemmHandlesZeroLadenInputs) {
+  // The old kernel skipped a[i,p] == 0 entries; the blocked kernel dropped
+  // that branch. Sparse inputs must still produce exact results.
+  Rng rng(12);
+  Matrix a = Matrix::Randn(9, 21, 1.0f, &rng);
+  Matrix b = Matrix::Randn(21, 13, 1.0f, &rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i % 3 != 0) a.data()[i] = 0.0f;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (i % 4 == 0) b.data()[i] = 0.0f;
+  }
+  Matrix got = MatMul(a, b);
+  Matrix want = ReferenceGemm(a, b);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5f * 21);
+  }
+  // All-zero left operand: exactly zero output.
+  Matrix z(4, 21);
+  Matrix zc = MatMul(z, b);
+  for (size_t i = 0; i < zc.size(); ++i) EXPECT_EQ(zc.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, MatMulTransAMatchesReference) {
+  Rng rng(13);
+  Matrix a = Matrix::Randn(23, 6, 1.0f, &rng);
+  Matrix b = Matrix::Randn(23, 10, 1.0f, &rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i % 5 == 0) a.data()[i] = 0.0f;  // exercise the dropped zero-skip
+  }
+  Matrix got = MatMulTransA(a, b);
+  Matrix want = ReferenceGemm(a.Transposed(), b);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5f * 23);
+  }
+}
+
+TEST(MatrixTest, MatMulAddBiasMatchesUnfusedPairExactly) {
+  Rng rng(14);
+  const size_t shapes[][3] = {{1, 8, 5}, {7, 16, 16}, {30, 64, 64}};
+  for (const auto& s : shapes) {
+    Matrix a = Matrix::Randn(s[0], s[1], 1.0f, &rng);
+    Matrix b = Matrix::Randn(s[1], s[2], 1.0f, &rng);
+    Matrix bias = Matrix::Randn(1, s[2], 1.0f, &rng);
+    Matrix fused = MatMulAddBias(a, b, bias);
+    Matrix unfused = AddRowBroadcast(MatMul(a, b), bias);
+    // Bit-for-bit: the fused kernel adds the bias after the full k
+    // accumulation, so the rounding sequence is identical.
+    EXPECT_EQ(fused, unfused);
+  }
+}
+
 TEST(MatrixTest, ElementwiseOps) {
   Matrix a = Matrix::FromRows({{1, 2}});
   Matrix b = Matrix::FromRows({{3, 5}});

@@ -30,6 +30,39 @@ TEST(LinearTest, ShapesAndGradients) {
   }
 }
 
+TEST(LinearTest, ApplyMatchesForwardBitForBit) {
+  Rng rng(7);
+  Linear lin(16, 8, &rng);
+  // Multi-row input -> fused gemm path; single row -> cached-transpose dot
+  // path. Both must reproduce the autograd value exactly.
+  Matrix batch = Matrix::Randn(5, 16, 1.0f, &rng);
+  EXPECT_EQ(lin.Apply(batch),
+            lin.Forward(ag::Constant(batch)).value());
+  Matrix row = Matrix::Randn(1, 16, 1.0f, &rng);
+  EXPECT_EQ(lin.Apply(row), lin.Forward(ag::Constant(row)).value());
+}
+
+TEST(LinearTest, TransposedWeightCacheInvalidatesOnParameterUpdate) {
+  Rng rng(8);
+  Linear lin(4, 3, &rng);
+  const Matrix before = lin.TransposedWeight();
+  EXPECT_EQ(before, lin.weight().value().Transposed());
+
+  // Simulate an optimizer step; the version stamp must invalidate the cache.
+  ag::Var w = lin.Parameters()[0];
+  w.mutable_value().At(2, 1) += 1.5f;
+  const Matrix& after = lin.TransposedWeight();
+  EXPECT_EQ(after, lin.weight().value().Transposed());
+  EXPECT_FLOAT_EQ(after.At(1, 2), before.At(1, 2) + 1.5f);
+}
+
+TEST(MlpTest, ApplyMatchesForwardBitForBit) {
+  Rng rng(9);
+  Mlp mlp({12, 10, 10, 5}, &rng);
+  Matrix x = Matrix::Randn(6, 12, 1.0f, &rng);
+  EXPECT_EQ(mlp.Apply(x), mlp.Forward(ag::Constant(x)).value());
+}
+
 TEST(EmbeddingTest, LookupAndGradient) {
   Rng rng(2);
   Embedding emb(10, 4, &rng);
