@@ -19,7 +19,8 @@ namespace {
 /// ordered-merge guarantee), and writes the timing sweep to
 /// BENCH_parallel.json.
 void RunParallelSweep(const nerglob::harness::TrainedSystem& system,
-                      const nerglob::harness::BuildOptions& options) {
+                      const nerglob::harness::BuildOptions& options,
+                      double calibration_seconds) {
   using namespace nerglob;
   bench::PrintBanner("Parallel inference sweep (D1, NERGLOB_THREADS = 1/2/4/hw)");
 
@@ -71,6 +72,8 @@ void RunParallelSweep(const nerglob::harness::TrainedSystem& system,
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"dataset\": \"D1\",\n  \"scale\": %.4f,\n",
                  options.scale);
+    std::fprintf(json, "  \"calibration_seconds\": %.6f,\n",
+                 calibration_seconds);
     std::fprintf(json, "  \"deterministic\": %s,\n  \"sweep\": [\n",
                  deterministic ? "true" : "false");
     for (size_t i = 0; i < points.size(); ++i) {
@@ -96,6 +99,11 @@ int main() {
   bench::PrintScaleNote(options);
 
   auto system = harness::BuildTrainedSystem(options);
+
+  // Snapshot only the measured runs: training also records metrics (gemm
+  // counters and spans), so clear them once the system is built.
+  const double calibration_seconds = bench::CalibrationSeconds();
+  if (metrics::Enabled()) metrics::MetricsRegistry::Global().ResetAll();
 
   double macro_gain_sum = 0.0;
   double type_gain_sum[text::kNumEntityTypes] = {0, 0, 0, 0};
@@ -155,6 +163,21 @@ int main() {
               stream_macro_gain > nonstream_macro_gain ? "REPRODUCED"
                                                        : "NOT reproduced");
 
-  RunParallelSweep(system, options);
+  RunParallelSweep(system, options, calibration_seconds);
+
+  // With NERGLOB_METRICS=1 the whole measured section above recorded into
+  // the registry; snapshot it for CI's regression gate and artifacts.
+  if (metrics::Enabled()) {
+    if (bench::WriteMetricsSnapshot("BENCH_metrics.json", options.scale,
+                                    calibration_seconds)) {
+      std::printf("\nwrote BENCH_metrics.json (calibration %.3fs)\n",
+                  calibration_seconds);
+    } else {
+      std::printf("\nFAILED to write BENCH_metrics.json\n");
+      return 1;
+    }
+  } else {
+    std::printf("\n(NERGLOB_METRICS unset: no BENCH_metrics.json snapshot)\n");
+  }
   return 0;
 }

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json snapshots to baselines.
+
+Usage:
+    check_regression.py BASELINE FRESH [--tolerance 0.25] [--min-seconds 0.005]
+                        [--update]
+
+Compares a freshly produced ``BENCH_parallel.json`` or ``BENCH_metrics.json``
+(both emitted by ``bench_table4_ablation_timing``; the metrics file needs
+``NERGLOB_METRICS=1``) against the checked-in baseline under
+``bench/baselines/`` and exits non-zero on a regression.
+
+Machine portability: every snapshot embeds ``calibration_seconds`` — the wall
+time of a fixed serial FMA loop measured by the same binary in the same run
+(``bench::CalibrationSeconds()``). All timings are divided by their own
+file's calibration before comparison, so the gate measures slowdown relative
+to the machine's scalar speed, not absolute seconds. A GEMM or stage that got
+algorithmically slower still shows up, because the calibration loop does not
+use the code under test.
+
+Checks applied:
+  * BENCH_parallel.json — ``deterministic`` must be true; per-thread-count
+    ``local_seconds``/``global_seconds`` (normalized) must not exceed the
+    baseline by more than ``--tolerance``.
+  * BENCH_metrics.json — the five pipeline stage histograms
+    (local_ner, mention_extraction, phrase_embed, cluster, classify) must be
+    present with nonzero counts; their wall-time sums plus ``gemm.wall_seconds``
+    (normalized) are compared like above.
+
+Entries whose *baseline* raw time is below ``--min-seconds`` are skipped:
+they sit at clock-noise level and would make the gate flaky.
+
+``--update`` rewrites the baseline from the fresh file instead of comparing
+(use after an intentional perf change; commit the result).
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+REQUIRED_STAGES = (
+    "local_ner",
+    "mention_extraction",
+    "phrase_embed",
+    "cluster",
+    "classify",
+)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def calibration(doc, path):
+    cal = doc.get("calibration_seconds", 0.0)
+    if not isinstance(cal, (int, float)) or cal <= 0.0:
+        sys.exit(f"ERROR: {path} has no positive calibration_seconds")
+    return float(cal)
+
+
+def parallel_timings(doc):
+    """{(threads, key): seconds} from a BENCH_parallel.json sweep."""
+    out = {}
+    for point in doc.get("sweep", []):
+        threads = point.get("threads")
+        for key in ("local_seconds", "global_seconds"):
+            if key in point:
+                out[(threads, key)] = float(point[key])
+    return out
+
+
+def metrics_timings(doc, path):
+    """{name: histogram sum seconds} for the gated stage + gemm histograms."""
+    metrics = doc.get("metrics", {})
+    histograms = metrics.get("histograms", {})
+    out = {}
+    missing = []
+    for stage in REQUIRED_STAGES:
+        name = f"stage.{stage}.wall_seconds"
+        hist = histograms.get(name)
+        if hist is None or hist.get("count", 0) == 0:
+            missing.append(name)
+        else:
+            out[name] = float(hist["sum"])
+    if missing:
+        sys.exit(
+            f"ERROR: {path} is missing populated stage histograms: "
+            + ", ".join(missing)
+        )
+    gemm = histograms.get("gemm.wall_seconds")
+    if gemm is None or gemm.get("count", 0) == 0:
+        sys.exit(f"ERROR: {path} is missing a populated gemm.wall_seconds")
+    out["gemm.wall_seconds"] = float(gemm["sum"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max allowed relative slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="skip entries whose baseline raw time is below this (noise floor)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the fresh snapshot and exit",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.fresh} -> {args.baseline}")
+        return 0
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+
+    is_metrics = "metrics" in fresh_doc
+    if is_metrics != ("metrics" in base_doc):
+        sys.exit("ERROR: baseline and fresh snapshots are different kinds")
+
+    if not is_metrics and fresh_doc.get("deterministic") is not True:
+        sys.exit("FAIL: fresh BENCH_parallel.json reports deterministic=false")
+
+    base_cal = calibration(base_doc, args.baseline)
+    fresh_cal = calibration(fresh_doc, args.fresh)
+
+    if is_metrics:
+        base = metrics_timings(base_doc, args.baseline)
+        fresh = metrics_timings(fresh_doc, args.fresh)
+    else:
+        base = parallel_timings(base_doc)
+        fresh = parallel_timings(fresh_doc)
+
+    shared = sorted(set(base) & set(fresh), key=str)
+    if not shared:
+        sys.exit("ERROR: no comparable timing entries between the snapshots")
+
+    failures = []
+    print(f"{'entry':<44} {'base':>9} {'fresh':>9} {'ratio':>7}  verdict")
+    for key in shared:
+        label = key if isinstance(key, str) else f"threads={key[0]} {key[1]}"
+        if base[key] < args.min_seconds:
+            print(
+                f"{label:<44} {base[key]:>9.4f} {fresh[key]:>9.4f} "
+                f"{'-':>7}  skipped (below noise floor)"
+            )
+            continue
+        ratio = (fresh[key] / fresh_cal) / (base[key] / base_cal)
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append((label, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "faster (consider --update)"
+        print(
+            f"{label:<44} {base[key]:>9.4f} {fresh[key]:>9.4f} "
+            f"{ratio:>7.2f}  {verdict}"
+        )
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
+            f"slower than baseline by more than {args.tolerance:.0%}:"
+        )
+        for label, ratio in failures:
+            print(f"  {label}: {ratio:.2f}x normalized")
+        return 1
+    print("\nPASS: no timing regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "harness/experiment.h"
 
@@ -62,6 +63,15 @@ int main(int argc, char** argv) {
   if (local > 0) {
     std::printf("macro-F1 gain from Global NER: %+.1f%%\n",
                 100.0 * (global - local) / local);
+  }
+
+  // NERGLOB_METRICS=1 turns on the observability layer; dump the Prometheus
+  // view so the stage spans and counters are visible from the CLI.
+  if (nerglob::metrics::Enabled()) {
+    std::printf("\n== metrics (NERGLOB_METRICS=1) ==\n%s",
+                nerglob::metrics::MetricsRegistry::Global()
+                    .ToPrometheusText()
+                    .c_str());
   }
   return 0;
 }

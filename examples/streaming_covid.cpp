@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "data/generator.h"
 #include "harness/experiment.h"
 #include "stream/message.h"
@@ -68,5 +69,15 @@ int main(int argc, char** argv) {
               pipeline.local_seconds() > 0
                   ? 100.0 * pipeline.global_seconds() / pipeline.local_seconds()
                   : 0.0);
+
+  // With NERGLOB_METRICS=1, persist the per-stage histograms and counters
+  // accumulated over the stream (same JSON schema as BENCH_metrics.json's
+  // "metrics" object; see DESIGN.md §8).
+  if (nerglob::metrics::Enabled()) {
+    const char* path = "streaming_covid_metrics.json";
+    if (nerglob::metrics::MetricsRegistry::Global().WriteJsonFile(path)) {
+      std::printf("wrote %s\n", path);
+    }
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace nerglob::cluster {
 
@@ -42,6 +43,7 @@ ClusteringResult AgglomerativeCluster(const Matrix& distances, float threshold) 
     return static_cast<float>(total / (a.size() * b.size()));
   };
 
+  size_t merges = 0;
   while (clusters.size() > 1) {
     float best = std::numeric_limits<float>::infinity();
     size_t bi = 0, bj = 0;
@@ -59,6 +61,16 @@ ClusteringResult AgglomerativeCluster(const Matrix& distances, float threshold) 
     clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
                         clusters[bj].end());
     clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+    ++merges;
+  }
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const pools =
+        registry.GetCounter("cluster.pools_total");
+    static metrics::Counter* const merge_counter =
+        registry.GetCounter("cluster.linkage_merges_total");
+    pools->Increment();
+    merge_counter->Increment(merges);
   }
 
   result.assignments.assign(n, 0);

@@ -1,0 +1,285 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nerglob::metrics {
+
+namespace {
+
+bool EnvEnabled() {
+  const char* env = std::getenv("NERGLOB_METRICS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnvEnabled()};
+  return flag;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Doubles formatted with enough digits to round-trip while staying
+/// readable ("%.9g"); integers are emitted as-is.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON requires a leading digit form for special values; metrics never
+  // produce NaN/Inf from well-formed Observe() calls, but guard anyway.
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+    return "0";
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "nerglob_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  if (!Enabled()) return;
+  AtomicAddDouble(&value_, delta);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  NERGLOB_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending: " << name_;
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  // Inclusive upper bounds: the first bound >= value wins; anything above
+  // the last bound lands in the overflow bucket.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose (never destroyed): instrument handles cached in
+  // function-local statics must stay valid through static destructors.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  NERGLOB_CHECK(shard.gauges.count(name) == 0 &&
+                shard.histograms.count(name) == 0)
+      << "metric kind mismatch for " << name;
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  NERGLOB_CHECK(shard.counters.count(name) == 0 &&
+                shard.histograms.count(name) == 0)
+      << "metric kind mismatch for " << name;
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    it = shard.gauges.emplace(name, std::unique_ptr<Gauge>(new Gauge(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  NERGLOB_CHECK(shard.counters.count(name) == 0 &&
+                shard.gauges.count(name) == 0)
+      << "metric kind mismatch for " << name;
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    it = shard.histograms
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Snapshot into sorted maps first so output order is deterministic
+  // regardless of shard assignment.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kNumShards);
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mu);
+  for (const Shard& shard : shards_) {
+    for (const auto& [name, c] : shard.counters) counters[name] = c->value();
+    for (const auto& [name, g] : shard.gauges) gauges[name] = g->value();
+    for (const auto& [name, h] : shard.histograms) histograms[name] = h.get();
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << FormatDouble(value);
+    first = false;
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h->count() << ", \"sum\": "
+       << FormatDouble(h->sum()) << ", \"buckets\": [";
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < h->bounds().size()) {
+        os << FormatDouble(h->bounds()[i]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ", \"count\": " << h->BucketCount(i) << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kNumShards);
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mu);
+  for (const Shard& shard : shards_) {
+    for (const auto& [name, c] : shard.counters) counters[name] = c->value();
+    for (const auto& [name, g] : shard.gauges) gauges[name] = g->value();
+    for (const auto& [name, h] : shard.histograms) histograms[name] = h.get();
+  }
+
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->BucketCount(i);
+      os << p << "_bucket{le=\"" << FormatDouble(h->bounds()[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += h->BucketCount(h->bounds().size());
+    os << p << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << p << "_sum " << FormatDouble(h->sum()) << "\n";
+    os << p << "_count " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->Reset();
+    for (auto& [name, g] : shard.gauges) g->Reset();
+    for (auto& [name, h] : shard.histograms) h->Reset();
+  }
+}
+
+}  // namespace nerglob::metrics

@@ -1,0 +1,164 @@
+#ifndef NERGLOB_COMMON_METRICS_H_
+#define NERGLOB_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nerglob::metrics {
+
+/// Process-wide metrics switch. The first call reads the NERGLOB_METRICS
+/// environment variable ("1"/"true"/"on" enable it); off by default. When
+/// off, every Increment/Set/Observe is one relaxed atomic load plus a
+/// predictable branch — no stores, no locks, no clock reads upstream (the
+/// instrumentation sites gate their own timing on this flag too).
+bool Enabled();
+
+/// Overrides the switch at runtime (benchmark snapshots, tests). Safe to
+/// call from any thread, but flipping it mid-recording only affects
+/// subsequent updates.
+void SetEnabled(bool on);
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count. Thread-safe and lock-free: worker
+/// threads of the pool record with a single relaxed fetch_add.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, rates). Add() uses a
+/// CAS loop, so concurrent adders never lose updates.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta);
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper limits
+/// ("le"); one extra overflow bucket catches everything above the last
+/// bound. Observe() is lock-free (per-bucket relaxed fetch_add + CAS sum),
+/// so pool workers record latencies without serializing on a mutex.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i`; i == bounds().size() is overflow.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Default latency buckets in seconds: 1us .. 10s, one decade per bucket.
+  static std::vector<double> DefaultLatencyBounds();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  void Reset();
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry. Registration (Get*) takes a sharded mutex keyed
+/// on the metric name; instruments are created once and never destroyed
+/// before process exit, so the returned pointers are stable and the hot
+/// path (updating an already-resolved instrument) never locks. Typical use
+/// caches the handle in a function-local static:
+///
+///   static metrics::Counter* sentences =
+///       metrics::MetricsRegistry::Global().GetCounter("pipeline.sentences_total");
+///   sentences->Increment(batch.size());
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Calling with a name already registered as a different kind is a
+  /// CHECK failure. For histograms, `bounds` is only consulted on creation
+  /// (empty => DefaultLatencyBounds()).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// JSON snapshot (schema documented in DESIGN.md §8):
+  /// {"counters":{name:int}, "gauges":{name:float},
+  ///  "histograms":{name:{"count":int,"sum":float,
+  ///                      "buckets":[{"le":float|"+Inf","count":int},...]}}}
+  /// Bucket counts are per-bucket (non-cumulative); names sorted.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format ('.' in names becomes '_', metrics
+  /// prefixed "nerglob_"; histogram buckets cumulative, as Prometheus
+  /// requires).
+  std::string ToPrometheusText() const;
+
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every registered instrument (registrations and handles stay
+  /// valid). For tests and benchmark phase boundaries.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  static constexpr size_t kNumShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace nerglob::metrics
+
+#endif  // NERGLOB_COMMON_METRICS_H_

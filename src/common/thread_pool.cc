@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace nerglob {
 
@@ -83,6 +84,15 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     NERGLOB_CHECK(!stop_) << "Schedule on a stopped ThreadPool";
     queue_.push_back(std::move(fn));
+    if (metrics::Enabled()) {
+      static metrics::Counter* const scheduled =
+          metrics::MetricsRegistry::Global().GetCounter(
+              "pool.tasks_scheduled_total");
+      static metrics::Gauge* const depth =
+          metrics::MetricsRegistry::Global().GetGauge("pool.queue_depth");
+      scheduled->Increment();
+      depth->Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -119,9 +129,24 @@ void ParallelForRange(size_t begin, size_t end, size_t grain,
 
   // Serial fast path: single chunk, parallelism off, or nested call.
   if (num_chunks == 1 || parallelism <= 1 || InParallelRegion()) {
+    if (metrics::Enabled()) {
+      static metrics::Counter* const inline_loops =
+          metrics::MetricsRegistry::Global().GetCounter(
+              "pool.inline_loops_total");
+      inline_loops->Increment();
+    }
     ParallelRegionScope scope;
     fn(begin, end);
     return;
+  }
+  if (metrics::Enabled()) {
+    static metrics::Counter* const parallel_loops =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "pool.parallel_loops_total");
+    static metrics::Counter* const chunks =
+        metrics::MetricsRegistry::Global().GetCounter("pool.chunks_total");
+    parallel_loops->Increment();
+    chunks->Increment(num_chunks);
   }
 
   // Shared chunk cursor: executors claim chunks dynamically, but each chunk

@@ -5,10 +5,21 @@
 
 namespace nerglob {
 
+/// The one clock every timing facility uses: WallTimer, trace::TraceSpan,
+/// the GEMM instrumentation, and the bench harnesses. steady_clock is
+/// monotonic (never steps backward under NTP adjustment or suspend) and its
+/// timestamps are coherent across threads, so durations computed from
+/// timestamps taken on different pool workers stay non-negative. Never time
+/// with system_clock/high_resolution_clock (the latter is system_clock on
+/// some standard libraries).
+using MonotonicClock = std::chrono::steady_clock;
+
 /// Wall-clock stopwatch used by the benchmark harnesses (Table IV reports
 /// Local/Global execution time and overhead).
 class WallTimer {
  public:
+  using Clock = MonotonicClock;
+
   WallTimer() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
@@ -23,7 +34,6 @@ class WallTimer {
   double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

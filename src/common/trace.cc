@@ -1,0 +1,42 @@
+#include "common/trace.h"
+
+namespace nerglob::trace {
+
+namespace {
+
+/// Innermost live span of the calling thread. Thread-local keeps nesting
+/// correct when pool workers and the caller record concurrently.
+thread_local TraceSpan* t_current_span = nullptr;
+
+}  // namespace
+
+TraceStage::TraceStage(const char* name) : name_(name) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  wall_ = registry.GetHistogram("stage." + name_ + ".wall_seconds");
+  self_ = registry.GetHistogram("stage." + name_ + ".self_seconds");
+  calls_ = registry.GetCounter("stage." + name_ + ".calls_total");
+}
+
+TraceSpan::TraceSpan(const TraceStage& stage) {
+  if (!metrics::Enabled()) return;
+  stage_ = &stage;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_ = MonotonicClock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (stage_ == nullptr) return;
+  const double wall = std::chrono::duration<double>(
+                          MonotonicClock::now() - start_)
+                          .count();
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_seconds_ += wall;
+  stage_->wall_->Observe(wall);
+  stage_->self_->Observe(wall > child_seconds_ ? wall - child_seconds_ : 0.0);
+  stage_->calls_->Increment();
+}
+
+const TraceSpan* TraceSpan::Current() { return t_current_span; }
+
+}  // namespace nerglob::trace

@@ -1,0 +1,68 @@
+#ifndef NERGLOB_COMMON_TRACE_H_
+#define NERGLOB_COMMON_TRACE_H_
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+
+namespace nerglob::trace {
+
+/// Pre-resolved aggregation slots for one named pipeline stage. Constructing
+/// a TraceStage registers (or finds) three instruments in the global
+/// MetricsRegistry:
+///   stage.<name>.wall_seconds  — histogram of span wall time
+///   stage.<name>.self_seconds  — histogram of wall time minus time spent in
+///                                nested child spans (exclusive time)
+///   stage.<name>.calls_total   — span count
+/// Construct once per stage (function-local static at the instrumentation
+/// site) so span begin/end never touches the registry mutexes.
+class TraceStage {
+ public:
+  explicit TraceStage(const char* name);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class TraceSpan;
+  std::string name_;
+  metrics::Histogram* wall_;
+  metrics::Histogram* self_;
+  metrics::Counter* calls_;
+};
+
+/// RAII stage timer. Spans nest: a span opened while another span is live on
+/// the same thread becomes its child, and on destruction reports its wall
+/// time to the parent so the parent's self_seconds excludes it. Aggregation
+/// is per stage name across all threads (the pool workers record into the
+/// same lock-free histograms). When metrics are disabled the constructor
+/// reads one atomic flag and does nothing else — no clock reads.
+///
+///   static const trace::TraceStage kStage("local_ner");
+///   trace::TraceSpan span(kStage);
+class TraceSpan {
+ public:
+  explicit TraceSpan(const TraceStage& stage);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// The innermost live span on this thread (nullptr outside any span).
+  static const TraceSpan* Current();
+
+  const TraceStage* stage() const { return stage_; }
+
+ private:
+  const TraceStage* stage_ = nullptr;  // nullptr while inactive
+  TraceSpan* parent_ = nullptr;
+  double child_seconds_ = 0.0;
+  /// TraceSpan reuses WallTimer's monotonic clock (steady_clock): wall time
+  /// must never jump backward mid-span, even when NTP steps the system
+  /// clock, and steady_clock timestamps are coherent across threads.
+  MonotonicClock::time_point start_;
+};
+
+}  // namespace nerglob::trace
+
+#endif  // NERGLOB_COMMON_TRACE_H_

@@ -1,6 +1,8 @@
 #include "core/entity_classifier.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace nerglob::core {
 
@@ -41,6 +43,14 @@ Matrix EntityClassifier::GlobalEmbedding(const Matrix& members) const {
 
 EntityClassifier::Prediction EntityClassifier::Predict(
     const Matrix& members) const {
+  static const trace::TraceStage kStage("classify");
+  trace::TraceSpan span(kStage);
+  if (metrics::Enabled()) {
+    static metrics::Counter* const classifications =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "pipeline.classifications_total");
+    classifications->Increment();
+  }
   const Matrix probs = SoftmaxRows(mlp_.Apply(PoolValue(members)));
   Prediction pred;
   pred.cls = 0;

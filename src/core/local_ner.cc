@@ -1,7 +1,9 @@
 #include "core/local_ner.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace nerglob::core {
 
@@ -33,6 +35,8 @@ std::string SpanSurfaceString(const stream::Message& message,
 std::vector<LocalNer::Output> LocalNer::ProcessBatch(
     const std::vector<stream::Message>& batch, stream::TweetBase* tweet_base,
     trie::CandidateTrie* trie) const {
+  static const trace::TraceStage kStage("local_ner");
+  trace::TraceSpan span(kStage);
   // Phase 1 (parallel): the per-sentence encoder forwards dominate the cost
   // and are independent, so they fan out over the thread pool. Results land
   // in a pre-sized vector indexed by batch position, which keeps them in
@@ -74,6 +78,23 @@ std::vector<LocalNer::Output> LocalNer::ProcessBatch(
       }
     }
     outputs.push_back(std::move(out));
+  }
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const sentences =
+        registry.GetCounter("pipeline.sentences_total");
+    static metrics::Counter* const local_spans =
+        registry.GetCounter("pipeline.local_spans_total");
+    static metrics::Counter* const new_surfaces =
+        registry.GetCounter("pipeline.new_surfaces_total");
+    size_t span_count = 0, surface_count = 0;
+    for (const Output& out : outputs) {
+      span_count += out.local_spans.size();
+      surface_count += out.new_surfaces.size();
+    }
+    sentences->Increment(batch.size());
+    local_spans->Increment(span_count);
+    new_surfaces->Increment(surface_count);
   }
   return outputs;
 }

@@ -6,9 +6,11 @@
 
 #include "cluster/agglomerative.h"
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace nerglob::core {
 
@@ -79,6 +81,10 @@ NerGlobalizer::NerGlobalizer(const lm::MicroBert* model,
 }
 
 void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
+  static const trace::TraceStage kStage("process_batch");
+  trace::TraceSpan batch_span(kStage);
+  WallTimer batch_timer;
+
   // Ids of sentences that existed before this batch (for the delta rescan).
   std::vector<int64_t> old_ids = tweet_base_.ids();
 
@@ -110,6 +116,14 @@ void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
   if (delta.size() > 0) ExtractMentionsInto(old_ids, delta);
   RefreshCandidates();
   global_seconds_ += global_timer.ElapsedSeconds();
+
+  if (metrics::Enabled()) {
+    static metrics::Gauge* const rate =
+        metrics::MetricsRegistry::Global().GetGauge(
+            "pipeline.sentences_per_second");
+    const double elapsed = batch_timer.ElapsedSeconds();
+    if (elapsed > 0.0) rate->Set(static_cast<double>(batch.size()) / elapsed);
+  }
 }
 
 void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
@@ -126,6 +140,8 @@ void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
 void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
                                         const trie::CandidateTrie& trie) {
   if (trie.size() == 0) return;
+  static const trace::TraceStage kStage("mention_extraction");
+  trace::TraceSpan span(kStage);
 
   // Phase 1 (parallel): per-sentence trie scans and phrase embeddings are
   // independent reads of the TweetBase, so they fan out over the thread
@@ -163,13 +179,25 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
   // by arrival, so merging in id order keeps the CandidateBase identical to
   // a sequential pass for any thread count.
   std::unordered_set<std::string> touched;
+  size_t mention_count = 0;
   for (std::vector<Found>& per_id : found) {
+    mention_count += per_id.size();
     for (Found& f : per_id) {
       candidate_base_.AddMention(f.surface, std::move(f.mention));
       touched.insert(std::move(f.surface));
     }
   }
   for (const auto& surface : touched) dirty_surfaces_.push_back(surface);
+
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const mentions =
+        registry.GetCounter("pipeline.mentions_extracted_total");
+    static metrics::Counter* const scans =
+        registry.GetCounter("pipeline.trie_scans_total");
+    mentions->Increment(mention_count);
+    scans->Increment(ids.size());
+  }
 }
 
 std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
@@ -180,6 +208,11 @@ std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
   const size_t dim = pool[0].local_embedding.cols();
 
   // Cluster a bounded prefix; assign the tail to the nearest centroid.
+  // The cluster span wraps all of candidate building; the classifier calls
+  // below open nested "classify" spans, so stage.cluster.self_seconds is
+  // clustering-only time while wall_seconds is the whole build.
+  static const trace::TraceStage kClusterStage("cluster");
+  trace::TraceSpan cluster_span(kClusterStage);
   const size_t head = std::min(n, kMaxClusterPool);
   Matrix head_embs(head, dim);
   for (size_t i = 0; i < head; ++i) {
@@ -235,10 +268,25 @@ std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
     entry.confidence = pred.confidence;
     entries.push_back(std::move(entry));
   }
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const clusters =
+        registry.GetCounter("pipeline.clusters_formed_total");
+    static metrics::Counter* const dropped =
+        registry.GetCounter("pipeline.false_positives_dropped_total");
+    size_t non_entity = 0;
+    for (const auto& entry : entries) {
+      if (!entry.is_entity) ++non_entity;
+    }
+    clusters->Increment(entries.size());
+    dropped->Increment(non_entity);
+  }
   return entries;
 }
 
 void NerGlobalizer::RefreshCandidates() {
+  static const trace::TraceStage kStage("refresh_candidates");
+  trace::TraceSpan span(kStage);
   std::sort(dirty_surfaces_.begin(), dirty_surfaces_.end());
   dirty_surfaces_.erase(
       std::unique(dirty_surfaces_.begin(), dirty_surfaces_.end()),

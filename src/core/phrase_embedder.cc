@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace nerglob::core {
 
@@ -24,6 +26,14 @@ ag::Var PhraseEmbedder::Forward(const Matrix& token_embeddings, size_t begin,
 
 Matrix PhraseEmbedder::Embed(const Matrix& token_embeddings, size_t begin,
                              size_t end) const {
+  static const trace::TraceStage kStage("phrase_embed");
+  trace::TraceSpan span(kStage);
+  if (metrics::Enabled()) {
+    static metrics::Counter* const embeds =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "pipeline.phrase_embeds_total");
+    embeds->Increment();
+  }
   NERGLOB_CHECK_LT(begin, end);
   NERGLOB_CHECK_LE(end, token_embeddings.rows());
   NERGLOB_CHECK_EQ(token_embeddings.cols(), dim_);

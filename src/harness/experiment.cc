@@ -8,7 +8,9 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace nerglob::harness {
 
@@ -192,6 +194,17 @@ TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
 
 DatasetRun RunDataset(const TrainedSystem& system, const std::string& dataset,
                       double scale, size_t batch_size) {
+  // Top-level span: every per-batch pipeline span nests under this one, so
+  // stage.run_dataset.self_seconds isolates generation + scoring overhead
+  // from the pipeline itself.
+  static const trace::TraceStage kStage("run_dataset");
+  trace::TraceSpan span(kStage);
+  if (metrics::Enabled()) {
+    static metrics::Counter* const runs =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "harness.dataset_runs_total");
+    runs->Increment();
+  }
   DatasetRun run;
   run.dataset = dataset;
   data::StreamGenerator gen(&system.kb_eval);

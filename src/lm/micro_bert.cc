@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 #include "text/tokenizer.h"
 
@@ -83,6 +85,15 @@ MicroBert::ForwardResult MicroBert::Forward(
 }
 
 EncodeResult MicroBert::Encode(const std::vector<text::Token>& tokens) const {
+  // Runs on pool workers inside LocalNer::ProcessBatch — the span nests
+  // under "local_ner" only on the caller thread, but aggregates globally.
+  static const trace::TraceStage kStage("lm_encode");
+  trace::TraceSpan span(kStage);
+  if (metrics::Enabled()) {
+    static metrics::Counter* const encoded_tokens =
+        metrics::MetricsRegistry::Global().GetCounter("lm.tokens_total");
+    encoded_tokens->Increment(tokens.size());
+  }
   ForwardResult fwd = Forward(tokens, /*training=*/false, &dropout_rng_);
   EncodeResult out;
   out.embeddings = fwd.embeddings.value();

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace nerglob::nn {
 
@@ -38,6 +39,13 @@ Matrix Linear::Apply(const Matrix& x) const {
   const Matrix& w = weight_.value();
   const Matrix& b = bias_.value();
   NERGLOB_CHECK_EQ(x.cols(), w.rows());
+  if (metrics::Enabled()) {
+    // Distinguishes graph-free inference forwards from autograd Forward()
+    // calls when tuning the dot-product vs gemm dispatch below.
+    static metrics::Counter* const applies =
+        metrics::MetricsRegistry::Global().GetCounter("nn.linear_apply_total");
+    applies->Increment();
+  }
   const size_t m = x.rows();
   const size_t in = w.rows();
   const size_t out = w.cols();

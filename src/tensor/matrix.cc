@@ -6,7 +6,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace nerglob {
 
@@ -160,12 +162,39 @@ void GemmRowRange(const Matrix& a, const Matrix& b, const float* bias,
   }
 }
 
+/// GEMM observability slots, resolved once. Multiply-add counts as two
+/// flops (the convention Table IV-style throughput numbers expect).
+struct GemmMetrics {
+  metrics::Counter* calls;
+  metrics::Counter* parallel_calls;
+  metrics::Counter* flops;
+  metrics::Histogram* wall;
+
+  static const GemmMetrics& Get() {
+    static const GemmMetrics m = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      return GemmMetrics{registry.GetCounter("gemm.calls_total"),
+                         registry.GetCounter("gemm.parallel_calls_total"),
+                         registry.GetCounter("gemm.flops_total"),
+                         registry.GetHistogram("gemm.wall_seconds")};
+    }();
+    return m;
+  }
+};
+
 Matrix GemmImpl(const Matrix& a, const Matrix& b, const float* bias) {
   NERGLOB_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
   Matrix out(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   const size_t flops = m * k * n;
-  if (m >= 2 && flops >= kGemmParallelFlops && Parallelism() > 1) {
+  // One relaxed flag load when disabled; the clock reads only happen when
+  // metrics are on (small GEMMs run in ~1us, so an unconditional steady
+  // clock read would be measurable).
+  const bool record = metrics::Enabled();
+  MonotonicClock::time_point start;
+  if (record) start = MonotonicClock::now();
+  const bool parallel = m >= 2 && flops >= kGemmParallelFlops && Parallelism() > 1;
+  if (parallel) {
     const size_t per_row = std::max<size_t>(k * n, 1);
     const size_t grain = std::max<size_t>(1, kGemmParallelFlops / per_row);
     ParallelForRange(0, m, grain, [&](size_t begin, size_t end) {
@@ -173,6 +202,14 @@ Matrix GemmImpl(const Matrix& a, const Matrix& b, const float* bias) {
     });
   } else {
     GemmRowRange(a, b, bias, &out, 0, m);
+  }
+  if (record) {
+    const GemmMetrics& gm = GemmMetrics::Get();
+    gm.calls->Increment();
+    if (parallel) gm.parallel_calls->Increment();
+    gm.flops->Increment(2 * flops);
+    gm.wall->Observe(
+        std::chrono::duration<double>(MonotonicClock::now() - start).count());
   }
   return out;
 }

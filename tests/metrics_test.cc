@@ -1,0 +1,394 @@
+// Unit tests for the observability layer: MetricsRegistry instruments
+// (counter/gauge/histogram), the NERGLOB_METRICS gate, JSON/Prometheus
+// export, and TraceSpan nesting/aggregation.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
+namespace nerglob {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader, just enough to round-trip MetricsRegistry::ToJson()
+// (objects, arrays, strings with the escapes ToJson emits, numbers, bools).
+// The repo has no JSON dependency, so the test carries its own.
+// ---------------------------------------------------------------------------
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull } kind;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+  std::string str;
+  double number = 0.0;
+  bool boolean = false;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key: " << key;
+    return *it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonValue> Parse() {
+    auto value = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing characters after JSON value";
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    const char c = Peek();
+    auto value = std::make_unique<JsonValue>();
+    if (c == '{') {
+      value->kind = JsonValue::Kind::kObject;
+      Expect('{');
+      if (Peek() != '}') {
+        while (true) {
+          std::string key = ParseString();
+          Expect(':');
+          value->object[key] = ParseValue();
+          if (Peek() != ',') break;
+          Expect(',');
+        }
+      }
+      Expect('}');
+    } else if (c == '[') {
+      value->kind = JsonValue::Kind::kArray;
+      Expect('[');
+      if (Peek() != ']') {
+        while (true) {
+          value->array.push_back(ParseValue());
+          if (Peek() != ',') break;
+          Expect(',');
+        }
+      }
+      Expect(']');
+    } else if (c == '"') {
+      value->kind = JsonValue::Kind::kString;
+      value->str = ParseString();
+    } else if (c == 't' || c == 'f') {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = (c == 't');
+      pos_ += value->boolean ? 4 : 5;
+    } else if (c == 'n') {
+      value->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+    } else {
+      value->kind = JsonValue::Kind::kNumber;
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+              text_[end] == 'e' || text_[end] == 'E')) {
+        ++end;
+      }
+      value->number = std::strtod(text_.substr(pos_, end - pos_).c_str(), nullptr);
+      pos_ = end;
+    }
+    return value;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: out.push_back(esc); break;  // \" \\ \/
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Every test starts from a clean, enabled registry and leaves metrics off
+// (the process default) so other suites are unaffected.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::SetEnabled(true);
+    metrics::MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    metrics::MetricsRegistry::Global().ResetAll();
+    metrics::SetEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, SameNameReturnsSameHandle) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("test.same_handle"),
+            registry.GetCounter("test.same_handle"));
+  EXPECT_EQ(registry.GetGauge("test.same_gauge"),
+            registry.GetGauge("test.same_gauge"));
+  EXPECT_EQ(registry.GetHistogram("test.same_hist"),
+            registry.GetHistogram("test.same_hist"));
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  auto* counter =
+      metrics::MetricsRegistry::Global().GetCounter("test.concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterIncrementsFromParallelForWorkers) {
+  // The same path the pipeline uses: pool workers increment while the
+  // caller thread participates. Exact sum regardless of scheduling.
+  auto* counter =
+      metrics::MetricsRegistry::Global().GetCounter("test.pool_total");
+  SetParallelism(4);
+  constexpr size_t kIters = 5000;
+  ParallelFor(0, kIters, /*grain=*/16, [&](size_t) { counter->Increment(); });
+  SetParallelism(0);
+  EXPECT_EQ(counter->value(), kIters);
+}
+
+TEST_F(MetricsTest, ConcurrentGaugeAddsSumExactly) {
+  // Gauge::Add uses a CAS loop; concurrent adders must not lose updates.
+  auto* gauge = metrics::MetricsRegistry::Global().GetGauge("test.gauge");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge->value(), kThreads * kPerThread * 0.5);
+  gauge->Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge->value(), -3.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusive) {
+  auto* hist = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.bounds", {1.0, 2.0, 4.0});
+  hist->Observe(0.5);  // bucket 0 (le 1)
+  hist->Observe(1.0);  // bucket 0: bounds are inclusive upper limits
+  hist->Observe(1.5);  // bucket 1 (le 2)
+  hist->Observe(2.0);  // bucket 1
+  hist->Observe(4.0);  // bucket 2 (le 4)
+  hist->Observe(9.0);  // overflow bucket
+  EXPECT_EQ(hist->BucketCount(0), 2u);
+  EXPECT_EQ(hist->BucketCount(1), 2u);
+  EXPECT_EQ(hist->BucketCount(2), 1u);
+  EXPECT_EQ(hist->BucketCount(3), 1u);  // +Inf
+  EXPECT_EQ(hist->count(), 6u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST_F(MetricsTest, DefaultLatencyBoundsAreAscending) {
+  const auto bounds = metrics::Histogram::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto* counter = registry.GetCounter("test.disabled_total");
+  auto* gauge = registry.GetGauge("test.disabled_gauge");
+  auto* hist = registry.GetHistogram("test.disabled_hist");
+  metrics::SetEnabled(false);
+  counter->Increment(7);
+  gauge->Set(1.0);
+  gauge->Add(2.0);
+  hist->Observe(0.5);
+  metrics::SetEnabled(true);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(hist->count(), 0u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 0.0);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsHandlesValid) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto* counter = registry.GetCounter("test.reset_total");
+  counter->Increment(5);
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment(2);
+  EXPECT_EQ(counter->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("test.reset_total"), counter);
+}
+
+TEST_F(MetricsTest, JsonRoundTripPreservesValues) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  registry.GetCounter("test.json_total")->Increment(42);
+  registry.GetGauge("test.json_gauge")->Set(2.5);
+  auto* hist = registry.GetHistogram("test.json_hist", {0.1, 1.0});
+  hist->Observe(0.05);
+  hist->Observe(0.5);
+  hist->Observe(0.5);
+  hist->Observe(30.0);
+
+  auto doc = JsonParser(registry.ToJson()).Parse();
+  ASSERT_EQ(doc->kind, JsonValue::Kind::kObject);
+
+  const JsonValue& counter = doc->at("counters").at("test.json_total");
+  EXPECT_DOUBLE_EQ(counter.number, 42.0);
+  const JsonValue& gauge = doc->at("gauges").at("test.json_gauge");
+  EXPECT_DOUBLE_EQ(gauge.number, 2.5);
+
+  const JsonValue& hist_json = doc->at("histograms").at("test.json_hist");
+  EXPECT_DOUBLE_EQ(hist_json.at("count").number, 4.0);
+  EXPECT_DOUBLE_EQ(hist_json.at("sum").number, 0.05 + 0.5 + 0.5 + 30.0);
+  const auto& buckets = hist_json.at("buckets").array;
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets[0]->at("le").number, 0.1);
+  EXPECT_DOUBLE_EQ(buckets[0]->at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->at("le").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->at("count").number, 2.0);  // non-cumulative
+  EXPECT_EQ(buckets[2]->at("le").str, "+Inf");
+  EXPECT_DOUBLE_EQ(buckets[2]->at("count").number, 1.0);
+}
+
+TEST_F(MetricsTest, PrometheusTextUsesCumulativeBucketsAndPrefix) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto* hist = registry.GetHistogram("test.prom_hist", {0.1, 1.0});
+  hist->Observe(0.05);
+  hist->Observe(0.5);
+  const std::string text = registry.ToPrometheusText();
+  // '.' becomes '_', "nerglob_" prefix; buckets are cumulative counts.
+  EXPECT_NE(text.find("nerglob_test_prom_hist_bucket{le=\"0.1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nerglob_test_prom_hist_bucket{le=\"1\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nerglob_test_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nerglob_test_prom_hist_count 2"), std::string::npos);
+}
+
+void SpinFor(double seconds) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  while (timer.ElapsedSeconds() < seconds) sink = sink + 1.0;
+}
+
+TEST_F(MetricsTest, TraceSpanNestingSeparatesSelfFromWallTime) {
+  static const trace::TraceStage kOuter("test_outer");
+  static const trace::TraceStage kInner("test_inner");
+  constexpr double kInnerWork = 0.02;
+  {
+    trace::TraceSpan outer(kOuter);
+    EXPECT_EQ(trace::TraceSpan::Current(), &outer);
+    SpinFor(0.005);
+    {
+      trace::TraceSpan inner(kInner);
+      EXPECT_EQ(trace::TraceSpan::Current(), &inner);
+      SpinFor(kInnerWork);
+    }
+    EXPECT_EQ(trace::TraceSpan::Current(), &outer);
+  }
+  EXPECT_EQ(trace::TraceSpan::Current(), nullptr);
+
+  auto& registry = metrics::MetricsRegistry::Global();
+  auto* outer_wall = registry.GetHistogram("stage.test_outer.wall_seconds");
+  auto* outer_self = registry.GetHistogram("stage.test_outer.self_seconds");
+  auto* inner_wall = registry.GetHistogram("stage.test_inner.wall_seconds");
+  EXPECT_EQ(registry.GetCounter("stage.test_outer.calls_total")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("stage.test_inner.calls_total")->value(), 1u);
+  EXPECT_EQ(outer_wall->count(), 1u);
+  EXPECT_EQ(inner_wall->count(), 1u);
+  // The child's wall time is excluded from the parent's self time.
+  EXPECT_GE(outer_wall->sum(), inner_wall->sum());
+  EXPECT_GE(inner_wall->sum(), kInnerWork * 0.5);
+  EXPECT_LE(outer_self->sum(), outer_wall->sum() - inner_wall->sum() + 1e-9);
+}
+
+TEST_F(MetricsTest, TraceSpanDisabledIsInertAndRecordsNothing) {
+  static const trace::TraceStage kStage("test_disabled_stage");
+  metrics::SetEnabled(false);
+  {
+    trace::TraceSpan span(kStage);
+    EXPECT_EQ(trace::TraceSpan::Current(), nullptr);
+  }
+  metrics::SetEnabled(true);
+  auto& registry = metrics::MetricsRegistry::Global();
+  EXPECT_EQ(
+      registry.GetHistogram("stage.test_disabled_stage.wall_seconds")->count(),
+      0u);
+  EXPECT_EQ(
+      registry.GetCounter("stage.test_disabled_stage.calls_total")->value(),
+      0u);
+}
+
+TEST_F(MetricsTest, WriteJsonFileRoundTrips) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  registry.GetCounter("test.file_total")->Increment(3);
+  const std::string path =
+      ::testing::TempDir() + "/metrics_test_snapshot.json";
+  ASSERT_TRUE(registry.WriteJsonFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto doc = JsonParser(contents).Parse();
+  EXPECT_DOUBLE_EQ(doc->at("counters").at("test.file_total").number, 3.0);
+}
+
+}  // namespace
+}  // namespace nerglob

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "harness/experiment.h"
 #include "text/tokenizer.h"
@@ -218,6 +219,68 @@ TEST_F(PipelineTest, EmdGlobalizerVariantEmitsUntypedMentions) {
   auto local = eval::EvaluateNer(
       gold, pipeline.Predictions(core::PipelineStage::kLocalOnly));
   EXPECT_GT(emd_scores.emd.f1, local.emd.f1);
+}
+
+TEST_F(PipelineTest, InstrumentedCountsMatchPipelineOutputs) {
+  // The observability counters are not estimates: for a single-batch run
+  // each one must equal the corresponding quantity recoverable from the
+  // pipeline's own state.
+  auto messages = Dataset("D1");
+  auto pipeline = MakePipeline();
+
+  metrics::SetEnabled(true);
+  metrics::MetricsRegistry::Global().ResetAll();
+  pipeline.ProcessAll(messages, messages.size());
+  // Snapshot before any further pipeline calls so that evaluation-time work
+  // cannot shift the counters.
+  auto& registry = metrics::MetricsRegistry::Global();
+  const uint64_t sentences =
+      registry.GetCounter("pipeline.sentences_total")->value();
+  const uint64_t local_spans =
+      registry.GetCounter("pipeline.local_spans_total")->value();
+  const uint64_t new_surfaces =
+      registry.GetCounter("pipeline.new_surfaces_total")->value();
+  const uint64_t mentions =
+      registry.GetCounter("pipeline.mentions_extracted_total")->value();
+  const uint64_t embeds =
+      registry.GetCounter("pipeline.phrase_embeds_total")->value();
+  const uint64_t clusters =
+      registry.GetCounter("pipeline.clusters_formed_total")->value();
+  const uint64_t classifications =
+      registry.GetCounter("pipeline.classifications_total")->value();
+  const uint64_t stage_calls =
+      registry.GetCounter("stage.local_ner.calls_total")->value();
+  metrics::SetEnabled(false);
+
+  EXPECT_EQ(sentences, messages.size());
+  EXPECT_EQ(stage_calls, 1u);  // one batch => one local_ner span
+  EXPECT_EQ(new_surfaces, pipeline.trie().size());
+  EXPECT_EQ(mentions, pipeline.candidate_base().TotalMentions());
+  // Every extracted mention was embedded exactly once on its way in.
+  EXPECT_EQ(embeds, mentions);
+  size_t spans = 0;
+  for (const auto& s : pipeline.Predictions(core::PipelineStage::kLocalOnly)) {
+    spans += s.size();
+  }
+  EXPECT_EQ(local_spans, spans);
+  size_t candidates = 0;
+  for (const auto& surface : pipeline.candidate_base().surfaces()) {
+    candidates += pipeline.candidate_base().Candidates(surface).size();
+  }
+  EXPECT_EQ(clusters, candidates);
+  // One classifier call per formed cluster.
+  EXPECT_EQ(classifications, clusters);
+  // Stage histograms saw the run: every span that opened also closed.
+  for (const char* stage :
+       {"local_ner", "mention_extraction", "phrase_embed", "cluster",
+        "classify"}) {
+    auto* wall = registry.GetHistogram(std::string("stage.") + stage +
+                                       ".wall_seconds");
+    auto* calls =
+        registry.GetCounter(std::string("stage.") + stage + ".calls_total");
+    EXPECT_EQ(wall->count(), calls->value()) << stage;
+    EXPECT_GT(wall->count(), 0u) << stage;
+  }
 }
 
 TEST_F(PipelineTest, RunDatasetAlignsScoresAndPredictions) {
