@@ -1,0 +1,195 @@
+// Long-stream benchmark for the bounded-memory streaming runtime.
+//
+// Drives the same message stream through two StreamingSessions — one
+// unbounded (window 0, the pre-windowing behavior) and one with a sliding
+// window — recording the wall time of every batch. The claim under test:
+// with eviction on, per-batch cost stops growing with stream length, so a
+// late batch (#50) costs about the same as an early one (#5); unbounded,
+// the trie/candidate scans keep growing. Also checks the incremental
+// dirty-set refresh is bit-identical to rebuilding every surface per batch.
+//
+// Writes BENCH_streaming.json (schema nerglob.streaming.v1) with the raw
+// per-batch timings, the late/early ratio, memory numbers, and the
+// equivalence bit; bench/check_regression.py consumes the timings via the
+// embedded calibration like every other BENCH_*.json.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stream/streaming_session.h"
+
+namespace {
+
+using namespace nerglob;
+
+struct StreamRun {
+  std::vector<double> batch_seconds;
+  size_t peak_memory_bytes = 0;
+  size_t final_memory_bytes = 0;
+  size_t evicted = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+StreamRun DriveStream(const harness::TrainedSystem& system,
+                      const std::vector<stream::Message>& messages,
+                      size_t batch_size, size_t window) {
+  stream::StreamingSessionConfig config;
+  config.pipeline.cluster_threshold = system.cluster_threshold;
+  config.pipeline.window_messages = window;
+  stream::StreamingSession session(system.model.get(), system.embedder.get(),
+                                   system.classifier.get(), config);
+  stream::StreamSource source(messages, batch_size);
+  StreamRun run;
+  while (true) {
+    WallTimer timer;
+    if (!session.Step(&source)) break;
+    run.batch_seconds.push_back(timer.ElapsedSeconds());
+    const size_t bytes = session.MemoryUsage().total_bytes;
+    run.peak_memory_bytes = std::max(run.peak_memory_bytes, bytes);
+  }
+  session.Flush();
+  run.final_memory_bytes = session.MemoryUsage().total_bytes;
+  run.evicted = session.pipeline().evicted_messages();
+  run.cache_hits = session.pipeline().embed_cache_hits();
+  run.cache_misses = session.pipeline().embed_cache_misses();
+  return run;
+}
+
+/// Median of batch_seconds[center-2 .. center+2] — per-batch walls at small
+/// scale are microseconds, so a 5-point median smooths scheduler noise.
+double SmoothedBatchSeconds(const std::vector<double>& batch_seconds,
+                            size_t center) {
+  const size_t lo = center >= 2 ? center - 2 : 0;
+  const size_t hi = std::min(center + 3, batch_seconds.size());
+  std::vector<double> window(batch_seconds.begin() + static_cast<std::ptrdiff_t>(lo),
+                             batch_seconds.begin() + static_cast<std::ptrdiff_t>(hi));
+  std::sort(window.begin(), window.end());
+  return window[window.size() / 2];
+}
+
+bool IncrementalEqualsFull(const harness::TrainedSystem& system,
+                           const std::vector<stream::Message>& messages,
+                           size_t batch_size) {
+  core::NerGlobalizerConfig config;
+  config.cluster_threshold = system.cluster_threshold;
+  config.incremental_refresh = true;
+  core::NerGlobalizer incremental(system.model.get(), system.embedder.get(),
+                                  system.classifier.get(), config);
+  incremental.ProcessAll(messages, batch_size);
+  config.incremental_refresh = false;
+  core::NerGlobalizer full(system.model.get(), system.embedder.get(),
+                           system.classifier.get(), config);
+  full.ProcessAll(messages, batch_size);
+  auto a = incremental.Predictions();
+  auto b = full.Predictions();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+void WriteJson(const StreamRun& windowed, const StreamRun& unbounded,
+               size_t messages, size_t batch_size, size_t window, double scale,
+               double calibration_seconds, double early, double late,
+               bool bounded_ok, bool equals_full) {
+  std::FILE* json = std::fopen("BENCH_streaming.json", "w");
+  if (json == nullptr) {
+    std::printf("FAILED to open BENCH_streaming.json\n");
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"schema\": \"nerglob.streaming.v1\",\n"
+               "  \"scale\": %.4f,\n  \"calibration_seconds\": %.6f,\n"
+               "  \"messages\": %zu,\n  \"batch_size\": %zu,\n"
+               "  \"window_messages\": %zu,\n",
+               scale, calibration_seconds, messages, batch_size, window);
+  std::fprintf(json,
+               "  \"batch5_seconds\": %.6f,\n  \"batch50_seconds\": %.6f,\n"
+               "  \"late_over_early_ratio\": %.4f,\n"
+               "  \"bounded_per_batch_cost\": %s,\n"
+               "  \"incremental_equals_full\": %s,\n",
+               early, late, early > 0 ? late / early : 0.0,
+               bounded_ok ? "true" : "false", equals_full ? "true" : "false");
+  auto emit_run = [json](const char* name, const StreamRun& run) {
+    std::fprintf(json,
+                 "  \"%s\": {\n"
+                 "    \"peak_memory_bytes\": %zu,\n"
+                 "    \"final_memory_bytes\": %zu,\n"
+                 "    \"evicted_messages\": %zu,\n"
+                 "    \"cache_hits\": %zu,\n    \"cache_misses\": %zu,\n"
+                 "    \"batch_seconds\": [",
+                 name, run.peak_memory_bytes, run.final_memory_bytes,
+                 run.evicted, run.cache_hits, run.cache_misses);
+    for (size_t i = 0; i < run.batch_seconds.size(); ++i) {
+      std::fprintf(json, "%s%.6f", i > 0 ? ", " : "", run.batch_seconds[i]);
+    }
+    std::fprintf(json, "]\n  }");
+  };
+  emit_run("windowed", windowed);
+  std::fprintf(json, ",\n");
+  emit_run("unbounded", unbounded);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("  wrote BENCH_streaming.json\n");
+}
+
+}  // namespace
+
+int main() {
+  auto options = bench::DefaultBuildOptions();
+  bench::PrintBanner("Streaming runtime — bounded-memory long-stream benchmark");
+  bench::PrintScaleNote(options);
+
+  auto system = harness::BuildTrainedSystem(options);
+  const double calibration_seconds = bench::CalibrationSeconds();
+
+  // One long stream: the covid conversation (D2) sliced into ~64 batches,
+  // so batch #50 exists at every scale. The window spans 4 batches.
+  data::StreamGenerator gen(&system.kb_eval);
+  auto messages = gen.Generate(data::MakeDatasetSpec("D2", options.scale));
+  const size_t batch_size = std::max<size_t>(1, messages.size() / 64);
+  const size_t window = 4 * batch_size;
+
+  std::printf("\n%zu messages, batch size %zu (%zu batches), window %zu\n",
+              messages.size(), batch_size,
+              (messages.size() + batch_size - 1) / batch_size, window);
+
+  // Warm-up pass (allocator + code paths), then the measured passes.
+  DriveStream(system, messages, batch_size, window);
+  StreamRun windowed = DriveStream(system, messages, batch_size, window);
+  StreamRun unbounded = DriveStream(system, messages, batch_size, 0);
+
+  const double early = SmoothedBatchSeconds(windowed.batch_seconds, 4);
+  const double late = SmoothedBatchSeconds(windowed.batch_seconds, 49);
+  const double ratio = early > 0 ? late / early : 0.0;
+  // The acceptance bar: with the window on, a late batch costs at most
+  // 1.5x an early one (both medians, machine-relative).
+  const bool bounded_ok = windowed.batch_seconds.size() > 50 && ratio <= 1.5;
+
+  std::printf("\nwindowed:  batch5 %.1fus  batch50 %.1fus  ratio %.2f  -> %s\n",
+              early * 1e6, late * 1e6, ratio,
+              bounded_ok ? "BOUNDED (<= 1.5x)" : "NOT bounded");
+  std::printf("  peak mem %.2f MB, final mem %.2f MB, %zu evicted, "
+              "%zu cache hits / %zu misses\n",
+              windowed.peak_memory_bytes / (1024.0 * 1024.0),
+              windowed.final_memory_bytes / (1024.0 * 1024.0), windowed.evicted,
+              windowed.cache_hits, windowed.cache_misses);
+  std::printf("unbounded: peak mem %.2f MB (%.1fx windowed peak)\n",
+              unbounded.peak_memory_bytes / (1024.0 * 1024.0),
+              windowed.peak_memory_bytes > 0
+                  ? static_cast<double>(unbounded.peak_memory_bytes) /
+                        static_cast<double>(windowed.peak_memory_bytes)
+                  : 0.0);
+
+  const bool equals_full = IncrementalEqualsFull(system, messages, batch_size);
+  std::printf("incremental dirty-set refresh == full refresh: %s\n",
+              equals_full ? "PASS (bit-identical predictions)" : "FAIL");
+
+  WriteJson(windowed, unbounded, messages.size(), batch_size, window,
+            options.scale, calibration_seconds, early, late, bounded_ok,
+            equals_full);
+  return equals_full ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Docs link gate: fail on broken intra-repo markdown links.
+
+Usage:
+    check_docs.py [ROOT]
+
+Scans every tracked ``*.md`` file under ROOT (default: the repo root, i.e.
+the parent of this script's directory) for markdown links and inline image
+references, and exits non-zero if any *relative* target does not exist on
+disk. External links (http/https/mailto), pure in-page anchors (``#...``),
+and autolinks are ignored; ``target#fragment`` is checked as ``target``.
+
+Stdlib-only on purpose: CI runs it before anything is built.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Titles after the
+# target ("... "title") are stripped. Nested parens in URLs are rare enough
+# in this repo to ignore.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "nerglob_cache",
+             "node_modules", ".cache"}
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append((lineno, match.group(1), "escapes the repo"))
+                continue
+            if not resolved.exists():
+                errors.append((lineno, match.group(1), "does not exist"))
+    return errors
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    total_files = 0
+    total_links_broken = 0
+    for path in markdown_files(root):
+        total_files += 1
+        for lineno, target, why in check_file(path, root):
+            total_links_broken += 1
+            print(f"{path.relative_to(root)}:{lineno}: broken link "
+                  f"'{target}' ({why})")
+    if total_links_broken:
+        print(f"FAIL: {total_links_broken} broken link(s) across "
+              f"{total_files} markdown file(s)")
+        return 1
+    print(f"OK: no broken intra-repo links in {total_files} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,26 +1,36 @@
 // Continuous streaming execution: the scenario that motivates the paper.
-// A Covid conversation stream (the D2 setting) arrives in batches; after
-// every batch the pipeline's state — CTrie surface forms, CandidateBase
-// mention pools, candidate clusters — grows incrementally, and the NER
-// output over everything seen so far improves as more context accumulates
-// ("collective processing ... evolves with the stream itself", Sec. V).
+// A Covid conversation stream (the D2 setting) arrives in batches and is
+// driven through a StreamingSession — the bounded-memory runtime. With a
+// window (third argument) the session retires old messages after every
+// batch, flushing their *finalized* predictions downstream while CTrie /
+// CandidateBase / TweetBase stay bounded; with window 0 it reproduces the
+// classic unbounded growth ("collective processing ... evolves with the
+// stream itself", Sec. V).
 //
-// Usage: streaming_covid [scale] [batch_size]
+// Usage: streaming_covid [scale] [batch_size] [window_messages]
+//   window_messages = 0 (default) disables eviction.
 
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "data/generator.h"
 #include "harness/experiment.h"
 #include "stream/message.h"
+#include "stream/streaming_session.h"
 
 int main(int argc, char** argv) {
   using namespace nerglob;
   const double scale = argc > 1 ? std::atof(argv[1]) : harness::DefaultScale();
   const size_t batch_size = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 100;
+  const size_t window = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 0;
 
   std::printf("== Simulated Covid stream, batch-by-batch Global NER ==\n");
+  if (window > 0) {
+    std::printf("(sliding window: %zu messages; older messages are finalized "
+                "and evicted)\n", window);
+  }
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
@@ -30,40 +40,62 @@ int main(int argc, char** argv) {
   auto messages = gen.Generate(data::MakeDatasetSpec("D2", scale));
   stream::StreamSource source(messages, batch_size);
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
-  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
-                               system.classifier.get(), config);
+  stream::StreamingSessionConfig config;
+  config.pipeline.cluster_threshold = system.cluster_threshold;
+  config.pipeline.window_messages = window;
+  stream::StreamingSession session(system.model.get(), system.embedder.get(),
+                                   system.classifier.get(), config);
+  auto& pipeline = session.pipeline();
 
-  std::printf("\n%8s %10s %10s %12s %12s %10s\n", "batch", "messages",
-              "surfaces", "mentions", "candidates", "macro-F1");
-  size_t batch_index = 0;
-  size_t consumed = 0;
-  while (source.HasNext()) {
-    auto batch = source.NextBatch();
-    consumed += batch.size();
-    pipeline.ProcessBatch(batch);
-
-    // Score everything processed so far against its gold annotation.
+  std::printf("\n%8s %10s %10s %12s %12s %10s %10s\n", "batch", "live",
+              "surfaces", "mentions", "finalized", "mem-MB", "macro-F1");
+  while (session.Step(&source)) {
+    // Score the live window against its gold annotation.
     std::vector<std::vector<text::EntitySpan>> gold;
-    for (size_t m = 0; m < consumed; ++m) gold.push_back(messages[m].gold_spans);
+    std::unordered_map<int64_t, const stream::Message*> by_id;
+    for (const auto& m : messages) by_id[m.id] = &m;
+    for (int64_t id : pipeline.message_ids()) {
+      gold.push_back(by_id.at(id)->gold_spans);
+    }
     auto predictions = pipeline.Predictions();
     auto scores = eval::EvaluateNer(gold, predictions);
 
-    size_t candidates = 0;
-    for (const auto& surface : pipeline.candidate_base().surfaces()) {
-      candidates += pipeline.candidate_base().Candidates(surface).size();
-    }
-    std::printf("%8zu %10zu %10zu %12zu %12zu %10.3f\n", ++batch_index,
-                consumed, pipeline.trie().size(),
-                pipeline.candidate_base().TotalMentions(), candidates,
+    const auto usage = session.MemoryUsage();
+    std::printf("%8zu %10zu %10zu %12zu %12zu %10.1f %10.3f\n",
+                session.batches_processed(), pipeline.tweet_base().size(),
+                pipeline.trie().size(),
+                pipeline.candidate_base().TotalMentions(),
+                session.finalized().size(),
+                static_cast<double>(usage.total_bytes) / (1024.0 * 1024.0),
                 scores.macro_f1);
   }
+  session.Flush();
 
-  std::printf("\nfinal state: %zu sentence records, %zu surface forms, "
+  // The finalized checkpoint stream covers every message exactly once, in
+  // stream order — score it end-to-end.
+  std::vector<std::vector<text::EntitySpan>> gold, finalized;
+  {
+    std::unordered_map<int64_t, const stream::Message*> by_id;
+    for (const auto& m : messages) by_id[m.id] = &m;
+    for (const auto& f : session.finalized()) {
+      gold.push_back(by_id.at(f.message_id)->gold_spans);
+      finalized.push_back(f.spans);
+    }
+  }
+  auto final_scores = eval::EvaluateNer(gold, finalized);
+
+  std::printf("\nfinal: %zu messages finalized (%zu by eviction), "
+              "macro-F1 %.3f\n",
+              session.finalized().size(), pipeline.evicted_messages(),
+              final_scores.macro_f1);
+  std::printf("live state: %zu sentence records, %zu surface forms, "
               "%zu mention records\n",
               pipeline.tweet_base().size(), pipeline.trie().size(),
               pipeline.candidate_base().TotalMentions());
+  if (window > 0) {
+    std::printf("embed cache: %zu hits, %zu misses\n",
+                pipeline.embed_cache_hits(), pipeline.embed_cache_misses());
+  }
   std::printf("local time %.2fs, global time %.2fs (overhead %.1f%%)\n",
               pipeline.local_seconds(), pipeline.global_seconds(),
               pipeline.local_seconds() > 0
@@ -72,7 +104,7 @@ int main(int argc, char** argv) {
 
   // With NERGLOB_METRICS=1, persist the per-stage histograms and counters
   // accumulated over the stream (same JSON schema as BENCH_metrics.json's
-  // "metrics" object; see DESIGN.md §8).
+  // "metrics" object; see docs/OBSERVABILITY.md).
   if (nerglob::metrics::Enabled()) {
     const char* path = "streaming_covid_metrics.json";
     if (nerglob::metrics::MetricsRegistry::Global().WriteJsonFile(path)) {

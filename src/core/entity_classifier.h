@@ -24,6 +24,12 @@ inline constexpr int kNumClassifierClasses = text::kNumEntityTypes + 1;
 ///
 /// followed by an MLP with ReLU activations and a softmax output over the
 /// L+1 classes. Pooling and classification train end-to-end.
+///
+/// Thread-safety: const methods (Predict, GlobalEmbedding, ForwardLogits)
+/// are safe to call concurrently once training has finished — the eval
+/// paths are graph-free (see PoolValue) — training must be exclusive.
+/// Predict is O(m · dim + dim · hidden + hidden²) for an m-member cluster.
+///
 /// How cluster member embeddings are aggregated into the global candidate
 /// embedding. The paper's production system uses the learned attention
 /// pooling of Eq. 6–8; plain averaging is the ablation variant (the same

@@ -19,6 +19,10 @@ namespace nerglob::core {
 /// The model is a weak labeller here: its spans seed the CTrie, its
 /// embeddings feed the Phrase Embedder; its final labels are NOT the
 /// system output (Global NER rewrites them).
+///
+/// Thread-safety: stateless after construction; concurrent ProcessBatch
+/// calls are safe ONLY with distinct tweet_base/trie targets (the method
+/// itself parallelizes the per-message model forward internally).
 class LocalNer {
  public:
   /// `model` must outlive this object and already be fine-tuned for NER.
@@ -34,7 +38,9 @@ class LocalNer {
   };
 
   /// Processes a batch: fills `tweet_base` with sentence records and
-  /// registers seed surface forms in `trie`.
+  /// registers seed surface forms in `trie`. Cost: one transformer forward
+  /// per message — O(batch · tokens² · d_model) — dominating everything
+  /// downstream; messages are distributed over the worker pool.
   std::vector<Output> ProcessBatch(const std::vector<stream::Message>& batch,
                                    stream::TweetBase* tweet_base,
                                    trie::CandidateTrie* trie) const;

@@ -103,18 +103,26 @@ void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
     for (const std::string& surface : out.new_surfaces) {
       delta.Insert(SplitChar(surface, ' '));
     }
-    // Record local-type votes for the mention-extraction ablation stage.
+    // Record local-type votes for the mention-extraction ablation stage,
+    // and seed support for the eviction bookkeeping: every live local span
+    // counts one unit of support for its surface form. Eviction decrements
+    // symmetrically by re-decoding the stored BIO labels.
     const stream::SentenceRecord* rec = tweet_base_.Find(out.message_id);
     for (const text::EntitySpan& span : out.local_spans) {
-      auto& votes = local_type_votes_[SpanSurfaceString(
-          rec->message, span.begin_token, span.end_token)];
-      ++votes[static_cast<size_t>(span.type)];
+      const std::string surface =
+          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
+      ++local_type_votes_[surface][static_cast<size_t>(span.type)];
+      ++seed_support_[surface];
     }
   }
 
   ExtractMentionsInto(new_ids, trie_);
   if (delta.size() > 0) ExtractMentionsInto(old_ids, delta);
   RefreshCandidates();
+  if (config_.window_messages > 0 &&
+      tweet_base_.size() > config_.window_messages) {
+    EvictToWindow();
+  }
   global_seconds_ += global_timer.ElapsedSeconds();
 
   if (metrics::Enabled()) {
@@ -138,17 +146,24 @@ void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
 }
 
 void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
-                                        const trie::CandidateTrie& trie) {
+                                        const trie::CandidateTrie& trie,
+                                        bool dedup) {
   if (trie.size() == 0) return;
   static const trace::TraceStage kStage("mention_extraction");
   trace::TraceSpan span(kStage);
+  // The embed cache only pays for itself when eviction can trigger
+  // re-extraction of already-embedded spans; unbounded streams never
+  // revisit a span, so they skip the cache (and its memory) entirely.
+  const bool use_cache = config_.window_messages > 0;
 
   // Phase 1 (parallel): per-sentence trie scans and phrase embeddings are
-  // independent reads of the TweetBase, so they fan out over the thread
-  // pool. Found mentions land in a per-id slot, preserving sentence order.
+  // independent reads of the TweetBase (and read-only lookups of the embed
+  // cache), so they fan out over the thread pool. Found mentions land in a
+  // per-id slot, preserving sentence order.
   struct Found {
     std::string surface;
     stream::MentionRecord mention;
+    bool cache_hit = false;
   };
   std::vector<std::vector<Found>> found(ids.size());
   ParallelFor(0, ids.size(), /*grain=*/4, [&](size_t idx) {
@@ -168,26 +183,54 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
       f.mention.message_id = id;
       f.mention.begin_token = span.begin;
       f.mention.end_token = span.end;
-      f.mention.local_embedding =
-          embedder_->Embed(record->token_embeddings, span.begin, emb_end);
       f.surface = SpanSurfaceString(record->message, span.begin, span.end);
+      if (dedup && candidate_base_.ContainsMention(f.surface, id, span.begin,
+                                                   span.end)) {
+        continue;
+      }
+      if (use_cache) {
+        auto it = embed_cache_.find(SpanKey{id, span.begin, span.end});
+        if (it != embed_cache_.end()) {
+          f.mention.local_embedding = it->second;
+          f.cache_hit = true;
+        }
+      }
+      if (!f.cache_hit) {
+        f.mention.local_embedding =
+            embedder_->Embed(record->token_embeddings, span.begin, emb_end);
+      }
       found[idx].push_back(std::move(f));
     }
   });
 
   // Phase 2 (serial merge, sentence order): AddMention assigns mention ids
   // by arrival, so merging in id order keeps the CandidateBase identical to
-  // a sequential pass for any thread count.
+  // a sequential pass for any thread count. Cache inserts also happen here
+  // so phase 1 only ever reads the cache map.
   std::unordered_set<std::string> touched;
   size_t mention_count = 0;
+  size_t hits = 0, misses = 0;
   for (std::vector<Found>& per_id : found) {
     mention_count += per_id.size();
     for (Found& f : per_id) {
+      if (use_cache) {
+        if (f.cache_hit) {
+          ++hits;
+        } else {
+          ++misses;
+          embed_cache_.emplace(
+              SpanKey{f.mention.message_id, f.mention.begin_token,
+                      f.mention.end_token},
+              f.mention.local_embedding);
+        }
+      }
       candidate_base_.AddMention(f.surface, std::move(f.mention));
       touched.insert(std::move(f.surface));
     }
   }
   for (const auto& surface : touched) dirty_surfaces_.push_back(surface);
+  embed_cache_hits_ += hits;
+  embed_cache_misses_ += misses;
 
   if (metrics::Enabled()) {
     auto& registry = metrics::MetricsRegistry::Global();
@@ -197,6 +240,14 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
         registry.GetCounter("pipeline.trie_scans_total");
     mentions->Increment(mention_count);
     scans->Increment(ids.size());
+    if (use_cache) {
+      static metrics::Counter* const cache_hits =
+          registry.GetCounter("stream.cache_hits");
+      static metrics::Counter* const cache_misses =
+          registry.GetCounter("stream.cache_misses");
+      cache_hits->Increment(hits);
+      cache_misses->Increment(misses);
+    }
   }
 }
 
@@ -287,6 +338,12 @@ std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
 void NerGlobalizer::RefreshCandidates() {
   static const trace::TraceStage kStage("refresh_candidates");
   trace::TraceSpan span(kStage);
+  if (!config_.incremental_refresh) {
+    // Reference path: rebuild every surface, not just the dirty set. The
+    // per-surface build is a pure function of the mention pool, so this
+    // produces bit-identical candidates while doing strictly more work.
+    dirty_surfaces_ = candidate_base_.surfaces();
+  }
   std::sort(dirty_surfaces_.begin(), dirty_surfaces_.end());
   dirty_surfaces_.erase(
       std::unique(dirty_surfaces_.begin(), dirty_surfaces_.end()),
@@ -305,6 +362,145 @@ void NerGlobalizer::RefreshCandidates() {
     candidate_base_.SetCandidates(dirty_surfaces_[i], std::move(built[i]));
   }
   dirty_surfaces_.clear();
+}
+
+void NerGlobalizer::EvictToWindow() {
+  static const trace::TraceStage kStage("evict");
+  trace::TraceSpan span(kStage);
+  const size_t count = tweet_base_.size() - config_.window_messages;
+  const std::vector<int64_t> evict_order(tweet_base_.ids().begin(),
+                                         tweet_base_.ids().begin() +
+                                             static_cast<std::ptrdiff_t>(count));
+  const std::unordered_set<int64_t> evicted(evict_order.begin(),
+                                            evict_order.end());
+
+  // 1. Flush the final Global NER output of every departing message while
+  // its candidates are still live (RefreshCandidates just ran, so the
+  // partition reflects everything up to and including this batch).
+  std::unordered_map<int64_t, std::vector<text::EntitySpan>> flushed;
+  for (const std::string& surface : candidate_base_.surfaces()) {
+    const auto& pool = candidate_base_.Mentions(surface);
+    for (const auto& entry : candidate_base_.Candidates(surface)) {
+      if (!entry.is_entity) continue;
+      for (size_t mention_id : entry.mention_ids) {
+        const stream::MentionRecord& m = pool[mention_id];
+        if (evicted.count(m.message_id) == 0) continue;
+        flushed[m.message_id].push_back(
+            {m.begin_token, m.end_token, entry.type});
+      }
+    }
+  }
+  for (int64_t id : evict_order) {
+    finalized_.push_back({id, ResolveOverlaps(std::move(flushed[id]))});
+  }
+
+  // 2. Withdraw the departing messages' seed support. Surfaces that drop
+  // to zero are exactly those no live message's local NER would seed — a
+  // from-scratch rebuild of the window would never register them.
+  std::vector<std::string> pruned;
+  for (int64_t id : evict_order) {
+    const stream::SentenceRecord* rec = tweet_base_.Find(id);
+    if (rec == nullptr) continue;
+    for (const text::EntitySpan& span : text::DecodeBio(rec->local_bio)) {
+      const std::string surface =
+          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
+      auto votes = local_type_votes_.find(surface);
+      if (votes != local_type_votes_.end()) {
+        --votes->second[static_cast<size_t>(span.type)];
+      }
+      auto it = seed_support_.find(surface);
+      if (it == seed_support_.end()) continue;
+      if (--it->second <= 0) {
+        seed_support_.erase(it);
+        pruned.push_back(surface);
+      }
+    }
+  }
+  std::sort(pruned.begin(), pruned.end());
+  pruned.erase(std::unique(pruned.begin(), pruned.end()), pruned.end());
+
+  // 3. Live sentences that held a mention of a pruned surface must be
+  // re-scanned: with the longer/other surface gone from the trie, the
+  // greedy longest-match may now recover different (shorter) mentions in
+  // the region it used to cover. Collect them before the pools change.
+  std::vector<int64_t> rescan_ids;
+  for (const std::string& surface : pruned) {
+    for (const stream::MentionRecord& m : candidate_base_.Mentions(surface)) {
+      if (evicted.count(m.message_id) == 0) rescan_ids.push_back(m.message_id);
+    }
+  }
+  std::sort(rescan_ids.begin(), rescan_ids.end());
+  rescan_ids.erase(std::unique(rescan_ids.begin(), rescan_ids.end()),
+                   rescan_ids.end());
+
+  // 4. Drop evicted mentions everywhere, then remove pruned surfaces
+  // wholesale (trie entry, pool, candidates, votes).
+  std::vector<std::string> changed = candidate_base_.RemoveMentionsOf(evicted);
+  const std::unordered_set<std::string> pruned_set(pruned.begin(), pruned.end());
+  for (const std::string& surface : pruned) {
+    trie_.Remove(SplitChar(surface, ' '));
+    candidate_base_.RemoveSurface(surface);
+    local_type_votes_.erase(surface);
+  }
+
+  // 5. Retire the records themselves and their cache entries.
+  tweet_base_.EvictOldest(count);
+  for (auto it = embed_cache_.begin(); it != embed_cache_.end();) {
+    if (evicted.count(it->first.message_id) > 0) {
+      it = embed_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  evicted_messages_ += count;
+
+  // 6. Re-scan affected live sentences (dedup: only genuinely new spans
+  // are added; their embeddings come from the cache when possible), then
+  // rebuild every eviction-touched surface so candidates never dangle.
+  ExtractMentionsInto(rescan_ids, trie_, /*dedup=*/true);
+  for (const std::string& surface : changed) {
+    if (pruned_set.count(surface) == 0) dirty_surfaces_.push_back(surface);
+  }
+  RefreshCandidates();
+
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const evictions =
+        registry.GetCounter("stream.evicted_messages");
+    static metrics::Counter* const pruned_total =
+        registry.GetCounter("stream.pruned_surfaces_total");
+    static metrics::Gauge* const window_messages =
+        registry.GetGauge("stream.window_messages");
+    static metrics::Gauge* const window_surfaces =
+        registry.GetGauge("stream.window_surfaces");
+    static metrics::Gauge* const memory_bytes =
+        registry.GetGauge("stream.memory_bytes");
+    evictions->Increment(count);
+    pruned_total->Increment(pruned.size());
+    window_messages->Set(static_cast<double>(tweet_base_.size()));
+    window_surfaces->Set(static_cast<double>(trie_.size()));
+    memory_bytes->Set(static_cast<double>(MemoryUsage().total_bytes));
+  }
+}
+
+std::vector<FinalizedMessage> NerGlobalizer::TakeFinalized() {
+  std::vector<FinalizedMessage> out;
+  out.swap(finalized_);
+  return out;
+}
+
+PipelineMemoryUsage NerGlobalizer::MemoryUsage() const {
+  PipelineMemoryUsage usage;
+  usage.tweet_base_bytes = tweet_base_.MemoryUsageBytes();
+  usage.candidate_base_bytes = candidate_base_.MemoryUsageBytes();
+  usage.trie_bytes = trie_.MemoryUsageBytes();
+  usage.embed_cache_bytes = embed_cache_.size() * sizeof(SpanKey);
+  for (const auto& [key, emb] : embed_cache_) {
+    usage.embed_cache_bytes += emb.size() * sizeof(float) + sizeof(void*) * 2;
+  }
+  usage.total_bytes = usage.tweet_base_bytes + usage.candidate_base_bytes +
+                      usage.trie_bytes + usage.embed_cache_bytes;
+  return usage;
 }
 
 std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictions()

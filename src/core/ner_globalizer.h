@@ -2,8 +2,11 @@
 #define NERGLOB_CORE_NER_GLOBALIZER_H_
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/entity_classifier.h"
@@ -39,13 +42,56 @@ struct NerGlobalizerConfig {
   float cluster_threshold = 0.6f;
   /// Mention-extraction lookahead (k following tokens, Sec. V-A).
   size_t max_mention_span = trie::CandidateTrie::kDefaultMaxSpan;
+  /// Sliding-window size in messages. 0 (default) disables eviction: state
+  /// grows with the stream, exactly the pre-windowing behavior. When > 0,
+  /// each ProcessBatch retires the oldest records beyond the window,
+  /// flushing their final predictions to TakeFinalized(), pruning CTrie
+  /// entries and CandidateBase surfaces whose support in the live window
+  /// drops to zero, and keeping MemoryUsage() bounded.
+  size_t window_messages = 0;
+  /// When true (default) RefreshCandidates re-clusters and re-classifies
+  /// only the surfaces whose mention pool changed this cycle (the dirty
+  /// set). When false every surface is rebuilt every cycle — the reference
+  /// path; both produce bit-identical Predictions() (enforced by test),
+  /// the full path just wastes work re-deriving unchanged candidates.
+  bool incremental_refresh = true;
+};
+
+/// A message that left the sliding window: its id and the final Global NER
+/// spans it had at eviction time (the checkpoint the streaming session
+/// flushes downstream).
+struct FinalizedMessage {
+  int64_t message_id = 0;
+  std::vector<text::EntitySpan> spans;
+};
+
+/// Per-component heap accounting for the pipeline's stream state, in
+/// approximate bytes. With window_messages > 0 every component is bounded
+/// by the window content; unbounded otherwise.
+struct PipelineMemoryUsage {
+  size_t tweet_base_bytes = 0;
+  size_t candidate_base_bytes = 0;
+  size_t trie_bytes = 0;
+  size_t embed_cache_bytes = 0;
+  size_t total_bytes = 0;
 };
 
 /// The NER Globalizer pipeline (Fig. 2): Local NER -> mention extraction ->
 /// phrase embedding -> candidate clustering -> entity classification.
-/// Supports continuous execution over batches: every ProcessBatch extends
-/// the TweetBase/CTrie/CandidateBase incrementally; Predictions() reflects
-/// everything processed so far.
+///
+/// Supports continuous execution over batches. With the default unbounded
+/// configuration every ProcessBatch extends the TweetBase/CTrie/
+/// CandidateBase incrementally and Predictions() reflects everything
+/// processed since startup. With window_messages > 0 the pipeline holds
+/// only the most recent window: older messages are evicted after each
+/// batch (their final predictions buffered for TakeFinalized()) and
+/// Predictions() covers the live window only.
+///
+/// Thread-safety: the pipeline parallelizes internally (encoder forwards,
+/// trie scans, per-surface clustering fan out over the process thread
+/// pool) but its public interface is NOT thread-safe — call ProcessBatch /
+/// Predictions / TakeFinalized from one thread at a time. Outputs are
+/// bit-identical for any NERGLOB_THREADS setting.
 class NerGlobalizer {
  public:
   /// All components must outlive the pipeline and be trained already
@@ -53,17 +99,27 @@ class NerGlobalizer {
   NerGlobalizer(const lm::MicroBert* model, const PhraseEmbedder* embedder,
                 const EntityClassifier* classifier, NerGlobalizerConfig config);
 
-  /// Processes one batch of the stream (Sec. III execution cycle).
+  /// Processes one batch of the stream (Sec. III execution cycle):
+  /// Local NER, delta mention extraction, dirty-set candidate refresh,
+  /// then (if windowed) eviction + a second refresh of eviction-touched
+  /// surfaces. Cost is O(batch work + dirty surfaces); with a window it is
+  /// independent of how many messages the stream has seen in total.
   void ProcessBatch(const std::vector<stream::Message>& batch);
 
   /// Convenience: processes `messages` in batches of `batch_size`.
   void ProcessAll(const std::vector<stream::Message>& messages,
                   size_t batch_size = 256);
 
-  /// Final spans per processed message (stream order), produced by the
-  /// given pipeline prefix. kFullGlobal is the system output.
+  /// Final spans per live message (stream order), produced by the given
+  /// pipeline prefix. kFullGlobal is the system output. With eviction
+  /// enabled this covers the current window; evicted messages' outputs are
+  /// returned once via TakeFinalized(). O(live mentions + candidates).
   std::vector<std::vector<text::EntitySpan>> Predictions(
       PipelineStage stage = PipelineStage::kFullGlobal);
+
+  /// Drains the buffer of messages finalized by eviction since the last
+  /// call, in stream order. Empty when window_messages == 0.
+  std::vector<FinalizedMessage> TakeFinalized();
 
   /// EMD Globalizer (the predecessor system, paper ref. [8]): collective
   /// processing *without* type-aware clustering — every surface form is one
@@ -73,13 +129,27 @@ class NerGlobalizer {
   /// resolving entity/non-entity surface-form ambiguity per cluster.
   std::vector<std::vector<text::EntitySpan>> EmdGlobalizerPredictions() const;
 
-  /// Message ids in stream order (aligned with Predictions()).
+  /// Message ids in stream order (aligned with Predictions()); the live
+  /// window under eviction.
   const std::vector<int64_t>& message_ids() const { return tweet_base_.ids(); }
 
   /// Cumulative wall-clock seconds spent in the Local NER step vs the
   /// Global NER steps (Table IV's execution-time columns).
   double local_seconds() const { return local_seconds_; }
   double global_seconds() const { return global_seconds_; }
+
+  /// Approximate heap footprint of the stream state (TweetBase +
+  /// CandidateBase + CTrie + phrase-embedding cache). O(state size); call
+  /// per batch, not per message.
+  PipelineMemoryUsage MemoryUsage() const;
+
+  /// Messages evicted since construction (0 when unbounded).
+  size_t evicted_messages() const { return evicted_messages_; }
+  /// Phrase-embedding cache hits/misses (windowed mode only; the cache is
+  /// disabled when window_messages == 0 because the unbounded pipeline
+  /// never re-extracts a span it has already embedded).
+  size_t embed_cache_hits() const { return embed_cache_hits_; }
+  size_t embed_cache_misses() const { return embed_cache_misses_; }
 
   const stream::TweetBase& tweet_base() const { return tweet_base_; }
   const stream::CandidateBase& candidate_base() const { return candidate_base_; }
@@ -88,13 +158,17 @@ class NerGlobalizer {
 
  private:
   /// Scans `ids` against `trie`, appending new mention records (with local
-  /// embeddings) to the CandidateBase.
+  /// embeddings) to the CandidateBase. When `dedup` is set, spans already
+  /// present in their surface's pool are skipped — the eviction rescan
+  /// path, where live sentences are re-scanned after a surface prune.
   void ExtractMentionsInto(const std::vector<int64_t>& ids,
-                           const trie::CandidateTrie& trie);
+                           const trie::CandidateTrie& trie,
+                           bool dedup = false);
 
-  /// Re-clusters and re-classifies every surface form whose pool changed.
-  /// Per-surface work (clustering + classification) runs in parallel; the
-  /// CandidateBase writes happen serially in sorted-surface order.
+  /// Re-clusters and re-classifies every surface form whose pool changed
+  /// (or all surfaces when incremental_refresh is off). Per-surface work
+  /// (clustering + classification) runs in parallel; the CandidateBase
+  /// writes happen serially in sorted-surface order.
   void RefreshCandidates();
 
   /// Clusters one surface form's mention pool and classifies each cluster.
@@ -102,6 +176,32 @@ class NerGlobalizer {
   /// surfaces.
   std::vector<stream::CandidateEntry> BuildCandidates(
       const std::string& surface) const;
+
+  /// Retires the oldest records beyond config_.window_messages: flushes
+  /// their final predictions, decrements seed support (pruning CTrie/
+  /// CandidateBase surfaces that drop to zero), drops their mentions and
+  /// cache entries, rescans live sentences affected by pruned surfaces,
+  /// and refreshes every eviction-touched surface.
+  void EvictToWindow();
+
+  /// Cache key for one embedded span: (message id, token span).
+  struct SpanKey {
+    int64_t message_id = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    friend bool operator==(const SpanKey& a, const SpanKey& b) {
+      return a.message_id == b.message_id && a.begin == b.begin &&
+             a.end == b.end;
+    }
+  };
+  struct SpanKeyHash {
+    size_t operator()(const SpanKey& k) const {
+      size_t h = std::hash<int64_t>()(k.message_id);
+      h = h * 1000003u ^ std::hash<size_t>()(k.begin);
+      h = h * 1000003u ^ std::hash<size_t>()(k.end);
+      return h;
+    }
+  };
 
   const lm::MicroBert* model_;
   const PhraseEmbedder* embedder_;
@@ -113,9 +213,24 @@ class NerGlobalizer {
   trie::CandidateTrie trie_;
   stream::CandidateBase candidate_base_;
   /// Most-frequent-local-type votes per surface (for kMentionExtraction).
+  /// Decremented on eviction so the votes always describe the live window.
   std::map<std::string, std::array<int, text::kNumEntityTypes>> local_type_votes_;
   /// Surfaces whose mention pool changed since the last RefreshCandidates.
   std::vector<std::string> dirty_surfaces_;
+  /// Per-surface count of live local-NER spans that seeded it. A surface
+  /// whose support reaches zero under eviction is pruned from the CTrie and
+  /// the CandidateBase — exactly the surfaces a from-scratch rebuild of the
+  /// window would never have seeded.
+  std::unordered_map<std::string, int> seed_support_;
+  /// Memoized PhraseEmbedder outputs keyed by (message id, span); entries
+  /// live as long as their message. Only populated in windowed mode.
+  std::unordered_map<SpanKey, Matrix, SpanKeyHash> embed_cache_;
+  /// Predictions flushed by eviction, awaiting TakeFinalized().
+  std::vector<FinalizedMessage> finalized_;
+
+  size_t evicted_messages_ = 0;
+  size_t embed_cache_hits_ = 0;
+  size_t embed_cache_misses_ = 0;
 
   double local_seconds_ = 0.0;
   double global_seconds_ = 0.0;

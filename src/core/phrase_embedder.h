@@ -20,6 +20,10 @@ namespace nerglob::core {
 /// contrastive objective — see core/training.h). `normalize` exposes the
 /// paper's L2-normalization ablation ("adding the normalization step leads
 /// to better performance").
+///
+/// Thread-safety: const methods (Forward/Embed) are safe to call
+/// concurrently once training has finished; training mutates parameters
+/// and must be exclusive. Embed is O(span_len · dim + dim²) per call.
 class PhraseEmbedder : public nn::Module {
  public:
   PhraseEmbedder(size_t dim, Rng* rng, bool normalize = true);

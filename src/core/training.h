@@ -11,6 +11,11 @@
 
 namespace nerglob::core {
 
+// Offline training entry points (Sec. VI). None of these functions is
+// thread-safe with respect to its model arguments: each call owns the
+// module it trains for the duration. They parallelize internally over
+// batches; cost is O(epochs · dataset) model forwards/backwards.
+
 /// One training mention collected from the D5 stream: the surface form,
 /// its class (entity type, or kNonEntityClass for seeded non-entities), and
 /// the frozen token embeddings of the mention span from Local NER.

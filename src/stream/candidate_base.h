@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -34,17 +35,33 @@ struct CandidateEntry {
 
 /// CandidateBase: for each surface form, the growing pool of mention
 /// records plus the current cluster -> candidate partition. Pools are
-/// append-only so global embeddings can be updated incrementally as new
-/// mentions arrive in the stream.
+/// append-only between eviction rounds so global embeddings can be updated
+/// incrementally as new mentions arrive; windowed eviction
+/// (RemoveMentionsOf / RemoveSurface) is the only operation that shrinks
+/// or reindexes a pool.
+///
+/// Thread-safety: const methods may run concurrently with each other; all
+/// mutating methods must be serialized against everything else. Candidate
+/// mention_ids index into the pool at the time SetCandidates was called —
+/// after RemoveMentionsOf compacts a pool, the affected surfaces must be
+/// re-clustered before their Candidates() are dereferenced again (the
+/// pipeline marks them dirty and refreshes within the same batch).
 class CandidateBase {
  public:
   CandidateBase() = default;
 
   /// Appends a mention to the surface form's pool; returns its index.
+  /// Amortized O(d) (running-sum update).
   size_t AddMention(const std::string& surface, MentionRecord mention);
 
-  /// The mention pool for a surface form (empty if unknown).
+  /// The mention pool for a surface form (empty if unknown). O(1).
   const std::vector<MentionRecord>& Mentions(const std::string& surface) const;
+
+  /// True if the pool for `surface` already holds a mention with this
+  /// (message id, token span) — the dedup test for eviction-triggered
+  /// rescans. O(pool size).
+  bool ContainsMention(const std::string& surface, int64_t message_id,
+                       size_t begin_token, size_t end_token) const;
 
   /// Replaces the candidate partition for a surface form (after
   /// re-clustering).
@@ -58,11 +75,29 @@ class CandidateBase {
 
   size_t TotalMentions() const;
 
+  /// Drops every mention whose message id is in `ids`, compacting the
+  /// affected pools (indices shift!) and clearing their now-stale candidate
+  /// partitions. Embedding running sums are recomputed from the surviving
+  /// mentions in pool order, so the result is deterministic. Returns the
+  /// surfaces whose pools changed (callers must re-cluster them).
+  /// O(total mentions + changed pools * d).
+  std::vector<std::string> RemoveMentionsOf(
+      const std::unordered_set<int64_t>& ids);
+
+  /// Erases a surface form entirely — pool, candidates, and its slot in
+  /// surfaces(). Used when a surface's seed support drops to zero under
+  /// eviction. O(number of surfaces) for the order compaction.
+  void RemoveSurface(const std::string& surface);
+
   /// Running mean of the surface's local mention embeddings, maintained
   /// incrementally in O(d) per AddMention (Sec. V-D: "global embeddings can
   /// be incrementally updated by adding local embeddings into the pool").
   /// Empty matrix for unknown surfaces or pools without embeddings.
   Matrix MeanEmbedding(const std::string& surface) const;
+
+  /// Approximate heap footprint in bytes (mention embeddings dominate).
+  /// O(surfaces + total mentions).
+  size_t MemoryUsageBytes() const;
 
  private:
   struct SurfaceData {

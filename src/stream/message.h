@@ -11,7 +11,9 @@
 namespace nerglob::stream {
 
 /// One microblog message (tweet-sentence). Gold annotations are carried for
-/// evaluation; unlabeled streams leave `gold_spans` empty.
+/// evaluation; unlabeled streams leave `gold_spans` empty. Message ids must
+/// be unique within a stream — the TweetBase and the eviction bookkeeping
+/// key on them.
 struct Message {
   int64_t id = 0;
   std::string text;
@@ -24,14 +26,33 @@ struct Message {
 
 /// Replays a fixed message list as a stream of fixed-size batches
 /// ("each iteration consists of a batch of incoming tweets", Sec. III).
+///
+/// Loop contract (used by StreamingSession::Run): call NextBatch() until it
+/// returns an empty batch — an exhausted source yields empty vectors rather
+/// than failing, so drivers need no separate HasNext() guard:
+///
+///   while (true) {
+///     auto batch = source.NextBatch();
+///     if (batch.empty()) break;
+///     ...
+///   }
+///
+/// Thread-safety: not thread-safe; one consumer at a time. All methods are
+/// O(1) except NextBatch, which copies one batch of messages.
 class StreamSource {
  public:
   StreamSource(std::vector<Message> messages, size_t batch_size);
 
+  /// True while at least one more non-empty batch remains.
   bool HasNext() const { return next_ < messages_.size(); }
 
-  /// Returns the next batch (the final batch may be short).
+  /// Returns the next batch (the final batch may be short). On an
+  /// exhausted source returns an empty batch — never fails.
   std::vector<Message> NextBatch();
+
+  /// Rewinds to the beginning of the message list, so the same source can
+  /// drive multiple passes (e.g. warm-up + measured benchmark runs).
+  void Reset() { next_ = 0; }
 
   size_t num_messages() const { return messages_.size(); }
   size_t batch_size() const { return batch_size_; }

@@ -11,7 +11,7 @@ StreamSource::StreamSource(std::vector<Message> messages, size_t batch_size)
 }
 
 std::vector<Message> StreamSource::NextBatch() {
-  NERGLOB_CHECK(HasNext());
+  if (!HasNext()) return {};
   const size_t count = std::min(batch_size_, messages_.size() - next_);
   std::vector<Message> batch(messages_.begin() + static_cast<std::ptrdiff_t>(next_),
                              messages_.begin() + static_cast<std::ptrdiff_t>(next_ + count));
@@ -38,6 +38,32 @@ const SentenceRecord* TweetBase::Find(int64_t id) const {
 SentenceRecord* TweetBase::FindMutable(int64_t id) {
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<int64_t> TweetBase::EvictOldest(size_t count) {
+  count = std::min(count, order_.size());
+  std::vector<int64_t> evicted(order_.begin(),
+                               order_.begin() + static_cast<std::ptrdiff_t>(count));
+  for (int64_t id : evicted) records_.erase(id);
+  order_.erase(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(count));
+  return evicted;
+}
+
+size_t TweetBase::MemoryUsageBytes() const {
+  size_t bytes = sizeof(TweetBase) + order_.capacity() * sizeof(int64_t);
+  for (const auto& [id, rec] : records_) {
+    bytes += sizeof(int64_t) + sizeof(SentenceRecord);
+    bytes += rec.token_embeddings.size() * sizeof(float);
+    bytes += rec.local_bio.capacity() * sizeof(int);
+    bytes += rec.mentions.capacity() * sizeof(DetectedMention);
+    bytes += rec.message.text.capacity();
+    bytes += rec.message.tokens.capacity() * sizeof(text::Token);
+    for (const auto& tok : rec.message.tokens) {
+      bytes += tok.text.capacity() + tok.lower.capacity() + tok.match.capacity();
+    }
+    bytes += rec.message.gold_spans.capacity() * sizeof(text::EntitySpan);
+  }
+  return bytes;
 }
 
 namespace {
@@ -108,6 +134,89 @@ size_t CandidateBase::TotalMentions() const {
   size_t total = 0;
   for (const auto& [surface, data] : by_surface_) total += data.mentions.size();
   return total;
+}
+
+bool CandidateBase::ContainsMention(const std::string& surface,
+                                    int64_t message_id, size_t begin_token,
+                                    size_t end_token) const {
+  auto it = by_surface_.find(surface);
+  if (it == by_surface_.end()) return false;
+  for (const MentionRecord& m : it->second.mentions) {
+    if (m.message_id == message_id && m.begin_token == begin_token &&
+        m.end_token == end_token) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> CandidateBase::RemoveMentionsOf(
+    const std::unordered_set<int64_t>& ids) {
+  std::vector<std::string> changed;
+  if (ids.empty()) return changed;
+  // Iterate in first-seen order so the returned list is deterministic.
+  for (const std::string& surface : surface_order_) {
+    SurfaceData& data = by_surface_.at(surface);
+    bool any_removed = false;
+    for (const MentionRecord& m : data.mentions) {
+      if (ids.count(m.message_id) > 0) {
+        any_removed = true;
+        break;
+      }
+    }
+    if (!any_removed) continue;
+    std::vector<MentionRecord> kept;
+    kept.reserve(data.mentions.size());
+    for (MentionRecord& m : data.mentions) {
+      if (ids.count(m.message_id) == 0) kept.push_back(std::move(m));
+    }
+    data.mentions = std::move(kept);
+    // Recompute the running sum from the survivors in pool order — the same
+    // accumulation order a from-scratch rebuild of the window would use.
+    data.embedding_sum = Matrix();
+    data.embedded_count = 0;
+    for (const MentionRecord& m : data.mentions) {
+      if (m.local_embedding.empty()) continue;
+      if (data.embedded_count == 0) {
+        data.embedding_sum = m.local_embedding;
+      } else {
+        data.embedding_sum.AddInPlace(m.local_embedding);
+      }
+      ++data.embedded_count;
+    }
+    // Indices shifted: the old partition is meaningless until re-clustered.
+    data.candidates.clear();
+    changed.push_back(surface);
+  }
+  return changed;
+}
+
+void CandidateBase::RemoveSurface(const std::string& surface) {
+  if (by_surface_.erase(surface) == 0) return;
+  for (auto it = surface_order_.begin(); it != surface_order_.end(); ++it) {
+    if (*it == surface) {
+      surface_order_.erase(it);
+      break;
+    }
+  }
+}
+
+size_t CandidateBase::MemoryUsageBytes() const {
+  size_t bytes = sizeof(CandidateBase);
+  for (const std::string& surface : surface_order_) bytes += surface.capacity();
+  for (const auto& [surface, data] : by_surface_) {
+    bytes += surface.capacity() + sizeof(SurfaceData);
+    bytes += data.mentions.capacity() * sizeof(MentionRecord);
+    for (const MentionRecord& m : data.mentions) {
+      bytes += m.local_embedding.size() * sizeof(float);
+    }
+    bytes += data.candidates.capacity() * sizeof(CandidateEntry);
+    for (const CandidateEntry& c : data.candidates) {
+      bytes += c.surface.capacity() + c.mention_ids.capacity() * sizeof(size_t);
+    }
+    bytes += data.embedding_sum.size() * sizeof(float);
+  }
+  return bytes;
 }
 
 }  // namespace nerglob::stream

@@ -1,0 +1,71 @@
+#include "stream/streaming_session.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace nerglob::stream {
+
+StreamingSession::StreamingSession(const lm::MicroBert* model,
+                                   const core::PhraseEmbedder* embedder,
+                                   const core::EntityClassifier* classifier,
+                                   StreamingSessionConfig config)
+    : pipeline_(model, embedder, classifier, config.pipeline) {}
+
+bool StreamingSession::Step(StreamSource* source) {
+  std::vector<Message> batch = source->NextBatch();
+  if (batch.empty()) return false;
+  flushed_ = false;
+  messages_ += batch.size();
+  ++batches_;
+  pipeline_.ProcessBatch(batch);
+  // Drain eviction checkpoints in stream order.
+  for (core::FinalizedMessage& f : pipeline_.TakeFinalized()) {
+    finalized_.push_back(std::move(f));
+  }
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const batches =
+        registry.GetCounter("stream.batches_total");
+    static metrics::Counter* const messages =
+        registry.GetCounter("stream.messages_total");
+    batches->Increment();
+    messages->Increment(batch.size());
+  }
+  return true;
+}
+
+StreamingRunStats StreamingSession::Run(StreamSource* source) {
+  core::PipelineMemoryUsage peak;
+  while (Step(source)) {
+    const core::PipelineMemoryUsage usage = pipeline_.MemoryUsage();
+    if (usage.total_bytes > peak.total_bytes) peak = usage;
+  }
+  Flush();
+  StreamingRunStats stats;
+  stats.batches = batches_;
+  stats.messages = messages_;
+  stats.finalized_messages = finalized_.size();
+  stats.evicted_messages = pipeline_.evicted_messages();
+  stats.peak_memory = peak;
+  return stats;
+}
+
+void StreamingSession::Flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  const std::vector<int64_t>& live = pipeline_.message_ids();
+  std::vector<std::vector<text::EntitySpan>> predictions =
+      pipeline_.Predictions(core::PipelineStage::kFullGlobal);
+  for (size_t i = 0; i < live.size(); ++i) {
+    finalized_.push_back({live[i], std::move(predictions[i])});
+  }
+}
+
+std::vector<core::FinalizedMessage> StreamingSession::TakeFinalized() {
+  std::vector<core::FinalizedMessage> out;
+  out.swap(finalized_);
+  return out;
+}
+
+}  // namespace nerglob::stream

@@ -1,0 +1,101 @@
+#ifndef NERGLOB_STREAM_STREAMING_SESSION_H_
+#define NERGLOB_STREAM_STREAMING_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ner_globalizer.h"
+#include "stream/message.h"
+
+namespace nerglob::stream {
+
+/// Knobs for a bounded-memory streaming run.
+struct StreamingSessionConfig {
+  /// Pipeline configuration, including the eviction window
+  /// (pipeline.window_messages; 0 keeps the session unbounded).
+  core::NerGlobalizerConfig pipeline;
+};
+
+/// Aggregate outcome of StreamingSession::Run.
+struct StreamingRunStats {
+  size_t batches = 0;
+  size_t messages = 0;
+  size_t finalized_messages = 0;
+  size_t evicted_messages = 0;
+  core::PipelineMemoryUsage peak_memory;  ///< max total_bytes over batches
+};
+
+/// StreamingSession: the bounded-memory runtime driving a StreamSource
+/// through the NER Globalizer pipeline (the Sec. III execution cycle as a
+/// long-running service). Each Step pulls one batch, processes it, and
+/// collects the predictions of messages that left the sliding window —
+/// the *finalized* checkpoint stream. Flush (called automatically by Run)
+/// finalizes whatever is still live when the source ends, so after a full
+/// run `finalized()` holds exactly one entry per stream message, in
+/// stream order.
+///
+/// State machine:
+///
+///   [idle] --Step: batch--> [processing] --evictions--> finalized buffer
+///      ^                        |
+///      |                        v
+///      +---- Step: empty batch / Flush --> [flushed] (terminal until the
+///                                          next Step resumes the stream)
+///
+/// Thread-safety: not thread-safe; drive a session from one thread. The
+/// pipeline parallelizes internally (see NerGlobalizer).
+class StreamingSession {
+ public:
+  /// `model`, `embedder`, and `classifier` must outlive the session and be
+  /// trained already (same ownership contract as NerGlobalizer).
+  StreamingSession(const lm::MicroBert* model,
+                   const core::PhraseEmbedder* embedder,
+                   const core::EntityClassifier* classifier,
+                   StreamingSessionConfig config);
+
+  /// Pulls and processes one batch. Returns false (doing no work) when the
+  /// source is exhausted — the loop contract is simply
+  /// `while (session.Step(&source)) {}`. Cost: one ProcessBatch, bounded
+  /// by batch size + window size when eviction is on.
+  bool Step(StreamSource* source);
+
+  /// Drives the source to exhaustion, then Flush()es the remaining live
+  /// window. Returns the aggregate stats.
+  StreamingRunStats Run(StreamSource* source);
+
+  /// Finalizes every message still live in the window (without evicting
+  /// it), appending to the finalized buffer in stream order. Idempotent
+  /// until the next Step. Use at end-of-stream or before a checkpoint.
+  void Flush();
+
+  /// All finalized predictions so far, in stream order: messages flushed
+  /// by eviction as they left the window, plus (after Flush) the live
+  /// remainder.
+  const std::vector<core::FinalizedMessage>& finalized() const {
+    return finalized_;
+  }
+
+  /// Moves the finalized buffer out (downstream consumers that persist
+  /// checkpoints incrementally call this after every Step).
+  std::vector<core::FinalizedMessage> TakeFinalized();
+
+  size_t batches_processed() const { return batches_; }
+  size_t messages_processed() const { return messages_; }
+
+  /// Current stream-state footprint (see NerGlobalizer::MemoryUsage).
+  core::PipelineMemoryUsage MemoryUsage() const { return pipeline_.MemoryUsage(); }
+
+  const core::NerGlobalizer& pipeline() const { return pipeline_; }
+  core::NerGlobalizer& pipeline() { return pipeline_; }
+
+ private:
+  core::NerGlobalizer pipeline_;
+  std::vector<core::FinalizedMessage> finalized_;
+  size_t batches_ = 0;
+  size_t messages_ = 0;
+  bool flushed_ = false;
+};
+
+}  // namespace nerglob::stream
+
+#endif  // NERGLOB_STREAM_STREAMING_SESSION_H_

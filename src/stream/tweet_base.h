@@ -35,21 +35,37 @@ struct SentenceRecord {
 /// TweetBase: sentence records indexed by message id. The paper indexes by
 /// (tweet id, sentence id); messages here are single sentences so a flat
 /// id suffices.
+///
+/// Thread-safety: const methods (Find, size, ids, MemoryUsageBytes) may run
+/// concurrently with each other; Put/FindMutable/EvictOldest must be
+/// serialized against everything else. The pipeline writes on the batch
+/// thread and only parallelizes read-only scans.
 class TweetBase {
  public:
   TweetBase() = default;
 
   /// Adds a record; replaces any existing record with the same id.
+  /// Amortized O(1) plus the record move.
   void Put(SentenceRecord record);
 
-  /// nullptr if absent.
+  /// nullptr if absent. Amortized O(1).
   const SentenceRecord* Find(int64_t id) const;
   SentenceRecord* FindMutable(int64_t id);
 
   size_t size() const { return order_.size(); }
 
-  /// Ids in insertion order (stream order).
+  /// Ids in insertion order (stream order). Eviction removes ids from the
+  /// front, so this is always the live window, oldest first.
   const std::vector<int64_t>& ids() const { return order_; }
+
+  /// Removes the `count` oldest records (fewer if the base is smaller) and
+  /// returns their ids, oldest first. O(count + remaining ids) per call —
+  /// the id order is compacted once per eviction round, not per id.
+  std::vector<int64_t> EvictOldest(size_t count);
+
+  /// Approximate heap footprint in bytes: token embeddings dominate; the
+  /// estimate also counts message text/tokens and BIO labels. O(records).
+  size_t MemoryUsageBytes() const;
 
  private:
   std::unordered_map<int64_t, SentenceRecord> records_;

@@ -18,6 +18,48 @@ bool CandidateTrie::Insert(const std::vector<std::string>& tokens) {
   return true;
 }
 
+bool CandidateTrie::Remove(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return false;
+  // Walk down, recording the path so empty suffix nodes can be pruned.
+  std::vector<Node*> path;
+  path.reserve(tokens.size() + 1);
+  Node* node = &root_;
+  path.push_back(node);
+  for (const std::string& tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+    path.push_back(node);
+  }
+  if (!node->terminal) return false;
+  node->terminal = false;
+  --size_;
+  // Prune trailing nodes that are neither terminal nor a prefix of another
+  // registered form. path[i] is the node reached after tokens[0..i).
+  for (size_t i = tokens.size(); i > 0; --i) {
+    Node* child = path[i];
+    if (child->terminal || !child->children.empty()) break;
+    path[i - 1]->children.erase(tokens[i - 1]);
+  }
+  return true;
+}
+
+size_t CandidateTrie::MemoryUsageBytes() const {
+  // Iterative walk; counts node structs, map entry overhead, and key chars.
+  size_t bytes = sizeof(CandidateTrie);
+  std::vector<const Node*> stack = {&root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node);
+    for (const auto& [key, child] : node->children) {
+      bytes += sizeof(void*) * 4 + key.capacity();  // approx map-entry cost
+      stack.push_back(child.get());
+    }
+  }
+  return bytes;
+}
+
 bool CandidateTrie::Contains(const std::vector<std::string>& tokens) const {
   if (tokens.empty()) return false;
   const Node* node = &root_;

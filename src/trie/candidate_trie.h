@@ -23,6 +23,12 @@ struct TokenSpan {
 /// longest-match scan of Sec. V-A. All inputs are expected in matching
 /// form (lowercased, hashtag-stripped — see text::Token::match); the trie
 /// itself performs exact token comparison.
+///
+/// Thread-safety: const methods (Contains, FindLongestMatches, size,
+/// MemoryUsageBytes) are safe to call concurrently with each other;
+/// Insert/Remove mutate the node tree and must not race with any other
+/// method. The pipeline serializes all mutations on the calling thread and
+/// only fans out read-only scans.
 class CandidateTrie {
  public:
   CandidateTrie() = default;
@@ -35,13 +41,25 @@ class CandidateTrie {
 
   /// Registers a surface form. Returns true if it was not present before.
   /// Empty token sequences are ignored (returns false).
+  /// Cost: O(|tokens|) hash lookups (amortized O(total token characters)).
   bool Insert(const std::vector<std::string>& tokens);
 
-  /// Exact membership test.
+  /// Unregisters a surface form, pruning any trie nodes that no longer
+  /// lead to a registered form. Returns true if the form was present.
+  /// Prefixes that are themselves registered forms (e.g. "andy" under
+  /// "andy beshear") are untouched. Cost: O(|tokens|) hash lookups.
+  bool Remove(const std::vector<std::string>& tokens);
+
+  /// Exact membership test. Cost: O(|tokens|) hash lookups.
   bool Contains(const std::vector<std::string>& tokens) const;
 
-  /// Number of registered surface forms.
+  /// Number of registered surface forms. O(1).
   size_t size() const { return size_; }
+
+  /// Approximate heap footprint of the node tree in bytes (nodes + child
+  /// map entries + key strings). Cost: O(nodes) — intended for periodic
+  /// accounting, not per-message hot paths.
+  size_t MemoryUsageBytes() const;
 
   /// Default lookahead: mentions up to this many tokens are matched
   /// ("a token ... alone or together with up to k following tokens").
@@ -51,6 +69,7 @@ class CandidateTrie {
   /// non-overlapping longest subsequences that are registered surface
   /// forms. Greedy left-to-right: at each position the longest match wins
   /// and the scan resumes after it; on no match the window shifts by one.
+  /// Cost: O(|tokens| * max_span) hash lookups, independent of trie size.
   std::vector<TokenSpan> FindLongestMatches(
       const std::vector<std::string>& tokens,
       size_t max_span = kDefaultMaxSpan) const;

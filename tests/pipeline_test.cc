@@ -3,6 +3,8 @@
 // execution contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <map>
 #include <set>
 
@@ -37,9 +39,12 @@ class PipelineTest : public ::testing::Test {
     system_ = nullptr;
   }
 
-  core::NerGlobalizer MakePipeline() const {
+  core::NerGlobalizer MakePipeline(
+      size_t window_messages = 0, bool incremental_refresh = true) const {
     core::NerGlobalizerConfig config;
     config.cluster_threshold = system_->cluster_threshold;
+    config.window_messages = window_messages;
+    config.incremental_refresh = incremental_refresh;
     return core::NerGlobalizer(system_->model.get(), system_->embedder.get(),
                                system_->classifier.get(), config);
   }
@@ -281,6 +286,107 @@ TEST_F(PipelineTest, InstrumentedCountsMatchPipelineOutputs) {
     EXPECT_EQ(wall->count(), calls->value()) << stage;
     EXPECT_GT(wall->count(), 0u) << stage;
   }
+}
+
+TEST_F(PipelineTest, IncrementalRefreshMatchesFullRefresh) {
+  // The dirty-set refresh is an optimization, not an approximation: over a
+  // multi-batch stream it must leave bit-identical predictions at every
+  // pipeline stage compared to rebuilding every surface after each batch.
+  auto messages = Dataset("D1");
+  const size_t batch = (messages.size() + 2) / 3;  // 3-batch stream
+  auto incremental = MakePipeline(0, /*incremental_refresh=*/true);
+  incremental.ProcessAll(messages, batch);
+  auto full = MakePipeline(0, /*incremental_refresh=*/false);
+  full.ProcessAll(messages, batch);
+
+  for (auto stage :
+       {core::PipelineStage::kLocalOnly, core::PipelineStage::kMentionExtraction,
+        core::PipelineStage::kLocalEmbeddings, core::PipelineStage::kFullGlobal}) {
+    auto a = incremental.Predictions(stage);
+    auto b = full.Predictions(stage);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t m = 0; m < a.size(); ++m) {
+      EXPECT_TRUE(a[m] == b[m])
+          << "stage " << static_cast<int>(stage) << " message " << m;
+    }
+  }
+}
+
+TEST_F(PipelineTest, WindowedEvictionBoundsState) {
+  // 5x the window worth of messages: the live stores must stay bounded by
+  // the window the whole way, and every message ends up finalized exactly
+  // once, in stream order.
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 5;
+  ASSERT_GE(window, 10u);
+  auto pipeline = MakePipeline(window);
+  std::vector<core::FinalizedMessage> finalized;
+  const size_t batch = window / 2;
+  for (size_t i = 0; i < messages.size(); i += batch) {
+    std::vector<stream::Message> chunk(
+        messages.begin() + static_cast<std::ptrdiff_t>(i),
+        messages.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + batch, messages.size())));
+    pipeline.ProcessBatch(chunk);
+    EXPECT_LE(pipeline.tweet_base().size(), window);
+    for (auto& f : pipeline.TakeFinalized()) finalized.push_back(std::move(f));
+  }
+  EXPECT_EQ(pipeline.tweet_base().size(), window);
+  EXPECT_EQ(pipeline.evicted_messages(), messages.size() - window);
+  ASSERT_EQ(finalized.size(), messages.size() - window);
+  for (size_t i = 0; i < finalized.size(); ++i) {
+    EXPECT_EQ(finalized[i].message_id, messages[i].id);
+  }
+  // Every surface still registered has live support: its pool is non-empty
+  // or some live message's local NER seeded it.
+  for (const auto& surface : pipeline.candidate_base().surfaces()) {
+    std::vector<std::string> tokens = SplitChar(surface, ' ');
+    EXPECT_TRUE(pipeline.trie().Contains(tokens)) << surface;
+  }
+}
+
+TEST_F(PipelineTest, WindowedStateMatchesFromScratchRebuild) {
+  // Eviction is exact: after the stream ends, the bounded pipeline's live
+  // state must match a pipeline that only ever saw the window's messages.
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  const size_t batch = window / 2;
+  auto windowed = MakePipeline(window);
+  for (size_t i = 0; i < messages.size(); i += batch) {
+    std::vector<stream::Message> chunk(
+        messages.begin() + static_cast<std::ptrdiff_t>(i),
+        messages.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + batch, messages.size())));
+    windowed.ProcessBatch(chunk);
+  }
+  ASSERT_EQ(windowed.tweet_base().size(), window);
+
+  // Rebuild from scratch over exactly the live window, same batching.
+  std::vector<stream::Message> tail(
+      messages.end() - static_cast<std::ptrdiff_t>(window), messages.end());
+  auto rebuilt = MakePipeline();
+  rebuilt.ProcessAll(tail, batch);
+
+  EXPECT_EQ(windowed.trie().size(), rebuilt.trie().size());
+  EXPECT_EQ(windowed.candidate_base().surfaces().size(),
+            rebuilt.candidate_base().surfaces().size());
+  EXPECT_EQ(windowed.candidate_base().TotalMentions(),
+            rebuilt.candidate_base().TotalMentions());
+}
+
+TEST_F(PipelineTest, MemoryUsageReflectsEviction) {
+  auto messages = Dataset("D2");
+  auto unbounded = MakePipeline();
+  unbounded.ProcessAll(messages, 32);
+  auto windowed = MakePipeline(/*window_messages=*/32);
+  windowed.ProcessAll(messages, 32);
+  const auto big = unbounded.MemoryUsage();
+  const auto small = windowed.MemoryUsage();
+  EXPECT_GT(big.total_bytes, 0u);
+  EXPECT_LT(small.tweet_base_bytes, big.tweet_base_bytes);
+  EXPECT_LT(small.total_bytes, big.total_bytes);
+  EXPECT_EQ(big.total_bytes, big.tweet_base_bytes + big.candidate_base_bytes +
+                                 big.trie_bytes + big.embed_cache_bytes);
 }
 
 TEST_F(PipelineTest, RunDatasetAlignsScoresAndPredictions) {

@@ -42,6 +42,34 @@ TEST(StreamSourceTest, SingleBatchCoversAll) {
   EXPECT_FALSE(source.HasNext());
 }
 
+TEST(StreamSourceTest, ExhaustedSourceYieldsEmptyBatches) {
+  StreamSource source({MakeMessage(1, "a")}, 4);
+  EXPECT_EQ(source.NextBatch().size(), 1u);
+  // The loop contract: an exhausted source returns empty batches forever
+  // instead of failing.
+  EXPECT_TRUE(source.NextBatch().empty());
+  EXPECT_TRUE(source.NextBatch().empty());
+  EXPECT_FALSE(source.HasNext());
+}
+
+TEST(StreamSourceTest, ResetReplaysTheStream) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < 5; ++i) msgs.push_back(MakeMessage(i, StrFormat("t%d", i)));
+  StreamSource source(std::move(msgs), 2);
+  size_t first_pass = 0;
+  while (true) {
+    auto batch = source.NextBatch();
+    if (batch.empty()) break;
+    first_pass += batch.size();
+  }
+  EXPECT_EQ(first_pass, 5u);
+  source.Reset();
+  EXPECT_TRUE(source.HasNext());
+  auto batch = source.NextBatch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 0);  // back at the start, same order
+}
+
 TEST(TweetBaseTest, PutFindRoundTrip) {
   TweetBase base;
   SentenceRecord rec;
@@ -79,6 +107,40 @@ TEST(TweetBaseTest, MutableAccessUpdatesMentions) {
   base.Put(rec);
   base.FindMutable(5)->mentions.push_back({0, 1, text::EntityType::kLocation});
   EXPECT_EQ(base.Find(5)->mentions.size(), 1u);
+}
+
+TEST(TweetBaseTest, EvictOldestRetiresInArrivalOrder) {
+  TweetBase base;
+  for (int64_t id = 10; id < 15; ++id) {
+    SentenceRecord rec;
+    rec.message = MakeMessage(id, StrFormat("m%d", static_cast<int>(id)));
+    base.Put(rec);
+  }
+  auto evicted = base.EvictOldest(2);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], 10);
+  EXPECT_EQ(evicted[1], 11);
+  EXPECT_EQ(base.size(), 3u);
+  EXPECT_EQ(base.Find(10), nullptr);
+  EXPECT_EQ(base.Find(11), nullptr);
+  ASSERT_NE(base.Find(12), nullptr);
+  // Remaining ids still oldest-first.
+  ASSERT_EQ(base.ids().size(), 3u);
+  EXPECT_EQ(base.ids()[0], 12);
+  EXPECT_EQ(base.ids()[2], 14);
+}
+
+TEST(TweetBaseTest, MemoryUsageShrinksOnEviction) {
+  TweetBase base;
+  for (int64_t id = 0; id < 4; ++id) {
+    SentenceRecord rec;
+    rec.message = MakeMessage(id, "some message text with several tokens");
+    base.Put(rec);
+  }
+  const size_t before = base.MemoryUsageBytes();
+  EXPECT_GT(before, 0u);
+  base.EvictOldest(2);
+  EXPECT_LT(base.MemoryUsageBytes(), before);
 }
 
 TEST(CandidateBaseTest, MentionPoolGrows) {
@@ -171,6 +233,100 @@ TEST(CandidateBaseTest, CandidatePartition) {
   EXPECT_EQ(got[0].mention_ids.size(), 2u);
   EXPECT_EQ(got[1].type, text::EntityType::kLocation);
   EXPECT_TRUE(cb.Candidates("nope").empty());
+}
+
+MentionRecord MakeMention(int64_t message_id, size_t begin, size_t end,
+                          std::vector<float> emb) {
+  MentionRecord m;
+  m.message_id = message_id;
+  m.begin_token = begin;
+  m.end_token = end;
+  m.local_embedding = Matrix::RowVector(emb);
+  return m;
+}
+
+TEST(CandidateBaseTest, ContainsMentionMatchesExactSpan) {
+  CandidateBase cb;
+  cb.AddMention("italy", MakeMention(7, 2, 3, {1, 0}));
+  EXPECT_TRUE(cb.ContainsMention("italy", 7, 2, 3));
+  EXPECT_FALSE(cb.ContainsMention("italy", 7, 1, 3));  // different span
+  EXPECT_FALSE(cb.ContainsMention("italy", 8, 2, 3));  // different message
+  EXPECT_FALSE(cb.ContainsMention("spain", 7, 2, 3));  // unknown surface
+}
+
+TEST(CandidateBaseTest, RemoveMentionsOfDropsOnlyEvictedIds) {
+  CandidateBase cb;
+  cb.AddMention("italy", MakeMention(1, 0, 1, {2, 0}));
+  cb.AddMention("italy", MakeMention(2, 0, 1, {0, 4}));
+  cb.AddMention("italy", MakeMention(3, 0, 1, {0, 0}));
+  cb.AddMention("spain", MakeMention(2, 3, 4, {1, 1}));
+
+  auto changed = cb.RemoveMentionsOf({2});
+  ASSERT_EQ(changed.size(), 2u);  // first-seen order
+  EXPECT_EQ(changed[0], "italy");
+  EXPECT_EQ(changed[1], "spain");
+  ASSERT_EQ(cb.Mentions("italy").size(), 2u);
+  EXPECT_EQ(cb.Mentions("italy")[0].message_id, 1);
+  EXPECT_EQ(cb.Mentions("italy")[1].message_id, 3);
+  EXPECT_TRUE(cb.Mentions("spain").empty());
+  // The running mean was recomputed from the survivors.
+  Matrix mean = cb.MeanEmbedding("italy");
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mean.At(0, 1), 0.0f);
+}
+
+TEST(CandidateBaseTest, RemoveMentionsOfLeavesUntouchedSurfacesIntact) {
+  // Regression: a surface whose pool holds no evicted mentions must keep
+  // its embeddings byte-for-byte (an earlier version left moved-from
+  // records behind when nothing was removed).
+  CandidateBase cb;
+  cb.AddMention("italy", MakeMention(1, 0, 1, {3, 5}));
+  auto changed = cb.RemoveMentionsOf({99});
+  EXPECT_TRUE(changed.empty());
+  ASSERT_EQ(cb.Mentions("italy").size(), 1u);
+  const Matrix& emb = cb.Mentions("italy")[0].local_embedding;
+  ASSERT_FALSE(emb.empty());
+  ASSERT_EQ(emb.size(), 2u);
+  EXPECT_FLOAT_EQ(emb.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(emb.At(0, 1), 5.0f);
+}
+
+TEST(CandidateBaseTest, RemoveMentionsOfClearsStaleCandidates) {
+  CandidateBase cb;
+  cb.AddMention("italy", MakeMention(1, 0, 1, {1, 0}));
+  cb.AddMention("italy", MakeMention(2, 0, 1, {0, 1}));
+  std::vector<CandidateEntry> cands(1);
+  cands[0].surface = "italy";
+  cands[0].mention_ids = {0, 1};
+  cb.SetCandidates("italy", cands);
+  cb.RemoveMentionsOf({1});
+  // Pool indices shifted: the old partition is meaningless until rebuilt.
+  EXPECT_TRUE(cb.Candidates("italy").empty());
+}
+
+TEST(CandidateBaseTest, RemoveSurfaceErasesEverything) {
+  CandidateBase cb;
+  cb.AddMention("b", MakeMention(1, 0, 1, {1}));
+  cb.AddMention("a", MakeMention(1, 2, 3, {2}));
+  cb.RemoveSurface("b");
+  ASSERT_EQ(cb.surfaces().size(), 1u);
+  EXPECT_EQ(cb.surfaces()[0], "a");
+  EXPECT_TRUE(cb.Mentions("b").empty());
+  EXPECT_EQ(cb.TotalMentions(), 1u);
+  cb.RemoveSurface("nope");  // no-op
+  EXPECT_EQ(cb.surfaces().size(), 1u);
+}
+
+TEST(CandidateBaseTest, MemoryUsageTracksPoolSize) {
+  CandidateBase cb;
+  const size_t empty_bytes = cb.MemoryUsageBytes();
+  for (int i = 0; i < 8; ++i) {
+    cb.AddMention("coronavirus", MakeMention(i, 0, 1, {1, 2, 3, 4}));
+  }
+  const size_t full_bytes = cb.MemoryUsageBytes();
+  EXPECT_GT(full_bytes, empty_bytes);
+  cb.RemoveMentionsOf({0, 1, 2, 3, 4, 5});
+  EXPECT_LT(cb.MemoryUsageBytes(), full_bytes);
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// StreamingSession: the bounded-memory runtime driving a StreamSource
+// through the pipeline, with checkpointed (finalized) predictions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+#include "stream/streaming_session.h"
+
+namespace nerglob {
+namespace {
+
+// One small trained system shared by every test in this file (training is
+// the expensive part; same miniature configuration as pipeline_test).
+class StreamingSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness::BuildOptions options;
+    options.scale = 0.08;
+    options.lm_config.d_model = 32;
+    options.lm_config.num_heads = 2;
+    options.lm_config.num_layers = 1;
+    options.lm_config.subword_buckets = 1024;
+    options.max_triplets = 4000;
+    options.embedder_epochs = 15;
+    options.classifier_epochs = 40;
+    options.kb_entities_per_topic_type = 10;
+    options.cache_dir = "";  // always train fresh in tests
+    system_ = new harness::TrainedSystem(harness::BuildTrainedSystem(options));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  stream::StreamingSession MakeSession(size_t window_messages = 0) const {
+    stream::StreamingSessionConfig config;
+    config.pipeline.cluster_threshold = system_->cluster_threshold;
+    config.pipeline.window_messages = window_messages;
+    return stream::StreamingSession(system_->model.get(),
+                                    system_->embedder.get(),
+                                    system_->classifier.get(), config);
+  }
+
+  std::vector<stream::Message> Dataset(const std::string& name) const {
+    data::StreamGenerator gen(&system_->kb_eval);
+    return gen.Generate(data::MakeDatasetSpec(name, 0.08));
+  }
+
+  static harness::TrainedSystem* system_;
+};
+
+harness::TrainedSystem* StreamingSessionTest::system_ = nullptr;
+
+TEST_F(StreamingSessionTest, RunFinalizesEveryMessageExactlyOnce) {
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  stream::StreamSource source(messages, window / 2);
+  auto session = MakeSession(window);
+  auto stats = session.Run(&source);
+
+  EXPECT_EQ(stats.messages, messages.size());
+  EXPECT_EQ(stats.batches, source.num_messages() / source.batch_size() +
+                               (messages.size() % source.batch_size() ? 1 : 0));
+  EXPECT_EQ(stats.finalized_messages, messages.size());
+  EXPECT_EQ(stats.evicted_messages, messages.size() - window);
+  EXPECT_GT(stats.peak_memory.total_bytes, 0u);
+
+  // Exactly one finalized entry per stream message, in stream order.
+  ASSERT_EQ(session.finalized().size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(session.finalized()[i].message_id, messages[i].id);
+  }
+  // The live window stayed bounded.
+  EXPECT_LE(session.pipeline().tweet_base().size(), window);
+}
+
+TEST_F(StreamingSessionTest, UnboundedRunMatchesProcessAll) {
+  // With eviction off, the session is just a driver: the finalized stream
+  // must equal the full-global predictions of a directly-driven pipeline.
+  auto messages = Dataset("D1");
+  const size_t batch = 16;
+  stream::StreamSource source(messages, batch);
+  auto session = MakeSession(0);
+  session.Run(&source);
+
+  core::NerGlobalizerConfig config;
+  config.cluster_threshold = system_->cluster_threshold;
+  core::NerGlobalizer pipeline(system_->model.get(), system_->embedder.get(),
+                               system_->classifier.get(), config);
+  pipeline.ProcessAll(messages, batch);
+  auto want = pipeline.Predictions(core::PipelineStage::kFullGlobal);
+
+  ASSERT_EQ(session.finalized().size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(session.finalized()[i].message_id, messages[i].id);
+    EXPECT_TRUE(session.finalized()[i].spans == want[i]) << "message " << i;
+  }
+}
+
+TEST_F(StreamingSessionTest, FlushIsIdempotentUntilNextStep) {
+  auto messages = Dataset("D1");
+  stream::StreamSource source(messages, messages.size());
+  auto session = MakeSession(0);
+  ASSERT_TRUE(session.Step(&source));
+  session.Flush();
+  const size_t after_first = session.finalized().size();
+  EXPECT_EQ(after_first, messages.size());
+  session.Flush();  // no-op: nothing new was processed
+  EXPECT_EQ(session.finalized().size(), after_first);
+  // Exhausted source: Step does no work and reports it.
+  EXPECT_FALSE(session.Step(&source));
+  EXPECT_EQ(session.batches_processed(), 1u);
+}
+
+TEST_F(StreamingSessionTest, TakeFinalizedDrainsTheBuffer) {
+  auto messages = Dataset("D1");
+  const size_t window = messages.size() / 3;
+  stream::StreamSource source(messages, window);
+  auto session = MakeSession(window);
+  std::set<int64_t> seen;
+  size_t drained = 0;
+  while (session.Step(&source)) {
+    for (const auto& f : session.TakeFinalized()) {
+      EXPECT_TRUE(seen.insert(f.message_id).second) << f.message_id;
+      ++drained;
+    }
+  }
+  session.Flush();
+  for (const auto& f : session.TakeFinalized()) {
+    EXPECT_TRUE(seen.insert(f.message_id).second) << f.message_id;
+    ++drained;
+  }
+  EXPECT_EQ(drained, messages.size());
+  EXPECT_TRUE(session.finalized().empty());
+}
+
+TEST_F(StreamingSessionTest, ResetSupportsMultiplePasses) {
+  auto messages = Dataset("D1");
+  stream::StreamSource source(messages, 32);
+  auto first = MakeSession(0);
+  auto stats1 = first.Run(&source);
+  source.Reset();
+  auto second = MakeSession(0);
+  auto stats2 = second.Run(&source);
+  EXPECT_EQ(stats1.messages, stats2.messages);
+  EXPECT_EQ(stats1.batches, stats2.batches);
+  ASSERT_EQ(first.finalized().size(), second.finalized().size());
+  for (size_t i = 0; i < first.finalized().size(); ++i) {
+    EXPECT_TRUE(first.finalized()[i].spans == second.finalized()[i].spans);
+  }
+}
+
+}  // namespace
+}  // namespace nerglob

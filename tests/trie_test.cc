@@ -135,5 +135,71 @@ TEST(CandidateTrieTest, ManySurfaceFormsScale) {
   EXPECT_EQ(matches.size(), 2u);
 }
 
+TEST(CandidateTrieTest, RemoveUnregistersSurface) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy", "beshear"}));
+  EXPECT_TRUE(trie.Remove(Toks({"andy", "beshear"})));
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_FALSE(trie.Contains(Toks({"andy", "beshear"})));
+  EXPECT_TRUE(trie.FindLongestMatches(Toks({"andy", "beshear"})).empty());
+  // Removing again (or removing something never inserted) is a no-op.
+  EXPECT_FALSE(trie.Remove(Toks({"andy", "beshear"})));
+  EXPECT_FALSE(trie.Remove(Toks({"nope"})));
+  EXPECT_FALSE(trie.Remove({}));
+}
+
+TEST(CandidateTrieTest, RemovePrefixKeepsLongerSurface) {
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy"}));
+  trie.Insert(Toks({"andy", "beshear"}));
+  EXPECT_TRUE(trie.Remove(Toks({"andy"})));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_FALSE(trie.Contains(Toks({"andy"})));
+  EXPECT_TRUE(trie.Contains(Toks({"andy", "beshear"})));
+  auto matches = trie.FindLongestMatches(Toks({"andy", "beshear"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{0, 2}));
+}
+
+TEST(CandidateTrieTest, RemoveLongerSurfaceKeepsPrefix) {
+  // Pruning "andy beshear" must expose the shorter registered surface to
+  // the greedy scan again.
+  CandidateTrie trie;
+  trie.Insert(Toks({"andy"}));
+  trie.Insert(Toks({"andy", "beshear"}));
+  EXPECT_TRUE(trie.Remove(Toks({"andy", "beshear"})));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.Contains(Toks({"andy"})));
+  auto matches = trie.FindLongestMatches(Toks({"gov", "andy", "beshear"}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (TokenSpan{1, 2}));
+}
+
+TEST(CandidateTrieTest, RemovePrunesDeadBranches) {
+  // Removing the only surface on a branch should release its nodes: after
+  // insert+remove the footprint returns to (roughly) the empty trie's.
+  CandidateTrie trie;
+  const size_t empty_bytes = trie.MemoryUsageBytes();
+  trie.Insert(Toks({"a", "very", "long", "surface", "form"}));
+  const size_t full_bytes = trie.MemoryUsageBytes();
+  EXPECT_GT(full_bytes, empty_bytes);
+  EXPECT_TRUE(trie.Remove(Toks({"a", "very", "long", "surface", "form"})));
+  EXPECT_EQ(trie.MemoryUsageBytes(), empty_bytes);
+}
+
+TEST(CandidateTrieTest, RemoveInterleavedWithInsert) {
+  CandidateTrie trie;
+  for (int i = 0; i < 100; ++i) trie.Insert({"w" + std::to_string(i)});
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(trie.Remove({"w" + std::to_string(i)}));
+  }
+  EXPECT_EQ(trie.size(), 50u);
+  EXPECT_FALSE(trie.Contains(Toks({"w0"})));
+  EXPECT_TRUE(trie.Contains(Toks({"w1"})));
+  // Re-inserting a removed surface works.
+  EXPECT_TRUE(trie.Insert(Toks({"w0"})));
+  EXPECT_TRUE(trie.Contains(Toks({"w0"})));
+}
+
 }  // namespace
 }  // namespace nerglob::trie
