@@ -14,6 +14,7 @@
 // embedded calibration like every other BENCH_*.json.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -36,10 +37,9 @@ StreamRun DriveStream(const harness::TrainedSystem& system,
                       const std::vector<stream::Message>& messages,
                       size_t batch_size, size_t window) {
   stream::StreamingSessionConfig config;
-  config.pipeline.cluster_threshold = system.cluster_threshold;
+  config.pipeline = core::DefaultPipelineConfig(system.bundle);
   config.pipeline.window_messages = window;
-  stream::StreamingSession session(system.model.get(), system.embedder.get(),
-                                   system.classifier.get(), config);
+  stream::StreamingSession session(&system.bundle, config);
   stream::StreamSource source(messages, batch_size);
   StreamRun run;
   while (true) {
@@ -72,15 +72,12 @@ double SmoothedBatchSeconds(const std::vector<double>& batch_seconds,
 bool IncrementalEqualsFull(const harness::TrainedSystem& system,
                            const std::vector<stream::Message>& messages,
                            size_t batch_size) {
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
+  core::NerGlobalizerConfig config = core::DefaultPipelineConfig(system.bundle);
   config.incremental_refresh = true;
-  core::NerGlobalizer incremental(system.model.get(), system.embedder.get(),
-                                  system.classifier.get(), config);
+  core::NerGlobalizer incremental(&system.bundle, config);
   incremental.ProcessAll(messages, batch_size);
   config.incremental_refresh = false;
-  core::NerGlobalizer full(system.model.get(), system.embedder.get(),
-                           system.classifier.get(), config);
+  core::NerGlobalizer full(&system.bundle, config);
   full.ProcessAll(messages, batch_size);
   auto a = incremental.Predictions();
   auto b = full.Predictions();
@@ -91,10 +88,55 @@ bool IncrementalEqualsFull(const harness::TrainedSystem& system,
   return true;
 }
 
+/// Cold-start comparison: seconds to obtain a servable system by retraining
+/// from scratch versus loading a saved `.ngb` bundle.
+struct ColdStart {
+  double retrain_seconds = 0.0;
+  double bundle_save_seconds = 0.0;
+  double bundle_load_seconds = 0.0;
+  size_t bundle_bytes = 0;
+  bool load_ok = false;
+};
+
+ColdStart MeasureColdStart(const harness::BuildOptions& base_options,
+                           harness::TrainedSystem* system) {
+  ColdStart cold;
+  // Retrain from scratch (cache disabled) — the cost --model avoids.
+  harness::BuildOptions fresh = base_options;
+  fresh.cache_dir = "";
+  WallTimer retrain_timer;
+  auto retrained = harness::BuildTrainedSystem(fresh);
+  cold.retrain_seconds = retrain_timer.ElapsedSeconds();
+  (void)retrained;
+
+  const std::string path = "bench_streaming_model.ngb";
+  system->bundle.set_training_stats(harness::StatsFromSystem(*system));
+  WallTimer save_timer;
+  if (const Status st = system->bundle.Save(path); !st.ok()) {
+    std::printf("  bundle save FAILED: %s\n", st.ToString().c_str());
+    return cold;
+  }
+  cold.bundle_save_seconds = save_timer.ElapsedSeconds();
+  std::error_code ec;
+  cold.bundle_bytes =
+      static_cast<size_t>(std::filesystem::file_size(path, ec));
+
+  WallTimer load_timer;
+  Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+  cold.bundle_load_seconds = load_timer.ElapsedSeconds();
+  cold.load_ok = loaded.ok();
+  if (!loaded.ok()) {
+    std::printf("  bundle load FAILED: %s\n",
+                loaded.status().ToString().c_str());
+  }
+  std::filesystem::remove(path, ec);
+  return cold;
+}
+
 void WriteJson(const StreamRun& windowed, const StreamRun& unbounded,
                size_t messages, size_t batch_size, size_t window, double scale,
                double calibration_seconds, double early, double late,
-               bool bounded_ok, bool equals_full) {
+               bool bounded_ok, bool equals_full, const ColdStart& cold) {
   std::FILE* json = std::fopen("BENCH_streaming.json", "w");
   if (json == nullptr) {
     std::printf("FAILED to open BENCH_streaming.json\n");
@@ -113,6 +155,16 @@ void WriteJson(const StreamRun& windowed, const StreamRun& unbounded,
                "  \"incremental_equals_full\": %s,\n",
                early, late, early > 0 ? late / early : 0.0,
                bounded_ok ? "true" : "false", equals_full ? "true" : "false");
+  std::fprintf(json,
+               "  \"cold_start\": {\n"
+               "    \"retrain_seconds\": %.6f,\n"
+               "    \"bundle_save_seconds\": %.6f,\n"
+               "    \"bundle_load_seconds\": %.6f,\n"
+               "    \"bundle_bytes\": %zu,\n"
+               "    \"load_ok\": %s\n  },\n",
+               cold.retrain_seconds, cold.bundle_save_seconds,
+               cold.bundle_load_seconds, cold.bundle_bytes,
+               cold.load_ok ? "true" : "false");
   auto emit_run = [json](const char* name, const StreamRun& run) {
     std::fprintf(json,
                  "  \"%s\": {\n"
@@ -188,8 +240,19 @@ int main() {
   std::printf("incremental dirty-set refresh == full refresh: %s\n",
               equals_full ? "PASS (bit-identical predictions)" : "FAIL");
 
+  std::printf("\ncold start (train-once / load-many):\n");
+  const ColdStart cold = MeasureColdStart(options, &system);
+  std::printf("  retrain %.2fs  vs  bundle load %.3fs "
+              "(%.0fx faster), save %.3fs, %.2f MB on disk\n",
+              cold.retrain_seconds, cold.bundle_load_seconds,
+              cold.bundle_load_seconds > 0
+                  ? cold.retrain_seconds / cold.bundle_load_seconds
+                  : 0.0,
+              cold.bundle_save_seconds,
+              cold.bundle_bytes / (1024.0 * 1024.0));
+
   WriteJson(windowed, unbounded, messages.size(), batch_size, window,
             options.scale, calibration_seconds, early, late, bounded_ok,
-            equals_full);
-  return equals_full ? 0 : 1;
+            equals_full, cold);
+  return equals_full && cold.load_ok ? 0 : 1;
 }

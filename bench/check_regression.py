@@ -26,6 +26,12 @@ Checks applied:
     (local_ner, mention_extraction, phrase_embed, cluster, classify) must be
     present with nonzero counts; their wall-time sums plus ``gemm.wall_seconds``
     (normalized) are compared like above.
+  * BENCH_streaming.json (schema ``nerglob.streaming.v1``) —
+    ``incremental_equals_full`` and ``cold_start.load_ok`` must be true;
+    the per-batch walls (batch5/batch50) and the cold-start save/load
+    seconds are compared (normalized) like above. ``cold_start.bundle_bytes``
+    is compared un-normalized: the on-disk ``.ngb`` artifact must not grow
+    past the baseline by more than ``--tolerance`` at the same scale.
 
 Entries whose *baseline* raw time is below ``--min-seconds`` are skipped:
 they sit at clock-noise level and would make the gate flaky.
@@ -96,6 +102,40 @@ def metrics_timings(doc, path):
     return out
 
 
+def streaming_timings(doc, path):
+    """{name: seconds} for the gated BENCH_streaming.json entries."""
+    if doc.get("incremental_equals_full") is not True:
+        sys.exit(f"FAIL: {path} reports incremental_equals_full=false")
+    cold = doc.get("cold_start", {})
+    if cold.get("load_ok") is not True:
+        sys.exit(f"FAIL: {path} reports cold_start.load_ok=false")
+    out = {}
+    for key in ("batch5_seconds", "batch50_seconds"):
+        if key in doc:
+            out[key] = float(doc[key])
+    for key in ("retrain_seconds", "bundle_save_seconds", "bundle_load_seconds"):
+        if key in cold:
+            out[f"cold_start.{key}"] = float(cold[key])
+    return out
+
+
+def check_bundle_bytes(base_doc, fresh_doc, tolerance):
+    """Size gate: the saved artifact must not grow past the baseline."""
+    base = base_doc.get("cold_start", {}).get("bundle_bytes", 0)
+    fresh = fresh_doc.get("cold_start", {}).get("bundle_bytes", 0)
+    if base <= 0 or fresh <= 0:
+        sys.exit("ERROR: snapshots are missing a positive cold_start.bundle_bytes")
+    ratio = fresh / base
+    verdict = "ok"
+    if ratio > 1.0 + tolerance:
+        verdict = "REGRESSION"
+    print(
+        f"{'cold_start.bundle_bytes':<44} {base:>9} {fresh:>9} "
+        f"{ratio:>7.2f}  {verdict}"
+    )
+    return [] if verdict == "ok" else [("cold_start.bundle_bytes", ratio)]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -127,17 +167,24 @@ def main():
     base_doc = load(args.baseline)
     fresh_doc = load(args.fresh)
 
-    is_metrics = "metrics" in fresh_doc
-    if is_metrics != ("metrics" in base_doc):
+    def kind(doc):
+        if str(doc.get("schema", "")).startswith("nerglob.streaming"):
+            return "streaming"
+        return "metrics" if "metrics" in doc else "parallel"
+
+    if kind(base_doc) != kind(fresh_doc):
         sys.exit("ERROR: baseline and fresh snapshots are different kinds")
 
-    if not is_metrics and fresh_doc.get("deterministic") is not True:
+    if kind(fresh_doc) == "parallel" and fresh_doc.get("deterministic") is not True:
         sys.exit("FAIL: fresh BENCH_parallel.json reports deterministic=false")
 
     base_cal = calibration(base_doc, args.baseline)
     fresh_cal = calibration(fresh_doc, args.fresh)
 
-    if is_metrics:
+    if kind(fresh_doc) == "streaming":
+        base = streaming_timings(base_doc, args.baseline)
+        fresh = streaming_timings(fresh_doc, args.fresh)
+    elif kind(fresh_doc) == "metrics":
         base = metrics_timings(base_doc, args.baseline)
         fresh = metrics_timings(fresh_doc, args.fresh)
     else:
@@ -150,6 +197,8 @@ def main():
 
     failures = []
     print(f"{'entry':<44} {'base':>9} {'fresh':>9} {'ratio':>7}  verdict")
+    if kind(fresh_doc) == "streaming":
+        failures += check_bundle_bytes(base_doc, fresh_doc, args.tolerance)
     for key in shared:
         label = key if isinstance(key, str) else f"threads={key[0]} {key[1]}"
         if base[key] < args.min_seconds:

@@ -4,12 +4,12 @@
 // pronoun). This example feeds hand-written tweets through the trained
 // pipeline and shows how candidate clustering separates the senses.
 //
-// Usage: ambiguity_resolution [scale]
+// Usage: ambiguity_resolution [--model=bundle.ngb] [scale]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "harness/experiment.h"
+#include "harness/system_loader.h"
 #include "text/tokenizer.h"
 
 namespace {
@@ -27,11 +27,18 @@ stream::Message Tweet(int64_t id, const std::string& txt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
   const double scale = argc > 1 ? std::atof(argv[1]) : harness::DefaultScale();
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
-  auto system = harness::BuildTrainedSystem(options);
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
 
   // A small hand-written stream mixing both senses of "washington" and of
   // "us". Repetition matters: collective processing needs several mentions
@@ -51,10 +58,8 @@ int main(int argc, char** argv) {
       Tweet(11, "they left us waiting for hours"),
   };
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
-  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
-                               system.classifier.get(), config);
+  core::NerGlobalizer pipeline(&system.bundle,
+                               core::DefaultPipelineConfig(system.bundle));
   pipeline.ProcessBatch(tweets);
 
   std::printf("== candidate clusters per ambiguous surface form ==\n");

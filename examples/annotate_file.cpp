@@ -3,9 +3,10 @@
 // CoNLL-style BIO output — the adoption path for using this library on
 // your own data.
 //
-// Usage: annotate_file [path|-] [scale]
+// Usage: annotate_file [--model=bundle.ngb] [path|-] [scale]
 // With no input path (or "-"), reads stdin; with no stdin, annotates a
-// small built-in demo stream.
+// small built-in demo stream. With --model, the trained bundle is loaded
+// from the given `.ngb` file (see train_model) instead of training here.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,7 +15,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/system_loader.h"
 #include "text/tokenizer.h"
 
 namespace {
@@ -42,6 +43,7 @@ const char* const kDemoStream[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
   std::vector<std::string> lines;
   if (argc > 1 && std::string(argv[1]) != "-") {
     std::ifstream file(argv[1]);
@@ -66,7 +68,13 @@ int main(int argc, char** argv) {
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
-  auto system = harness::BuildTrainedSystem(options);
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
 
   text::Tokenizer tokenizer;
   std::vector<stream::Message> messages;
@@ -78,10 +86,8 @@ int main(int argc, char** argv) {
     messages.push_back(std::move(m));
   }
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
-  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
-                               system.classifier.get(), config);
+  core::NerGlobalizer pipeline(&system.bundle,
+                               core::DefaultPipelineConfig(system.bundle));
   pipeline.ProcessBatch(messages);
   auto predictions = pipeline.Predictions();
 

@@ -3,17 +3,18 @@
 // cluster structure, classifier verdicts — plus pipeline-wide statistics.
 // Useful for understanding what collective processing actually built.
 //
-// Usage: inspect_candidates [dataset=D2] [scale] [top_n=15]
+// Usage: inspect_candidates [--model=bundle.ngb] [dataset=D2] [scale] [top_n=15]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
-#include "harness/experiment.h"
+#include "harness/system_loader.h"
 
 int main(int argc, char** argv) {
   using namespace nerglob;
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
   const std::string dataset = argc > 1 ? argv[1] : "D2";
   const double scale = argc > 2 ? std::atof(argv[2]) : harness::DefaultScale();
   const int top_n = argc > 3 ? std::atoi(argv[3]) : 15;
@@ -21,15 +22,24 @@ int main(int argc, char** argv) {
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
-  auto system = harness::BuildTrainedSystem(options);
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
 
+  auto spec = data::TryMakeDatasetSpec(dataset, scale);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
   data::StreamGenerator gen(&system.kb_eval);
-  auto messages = gen.Generate(data::MakeDatasetSpec(dataset, scale));
+  auto messages = gen.Generate(*spec);
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
-  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
-                               system.classifier.get(), config);
+  core::NerGlobalizer pipeline(&system.bundle,
+                               core::DefaultPipelineConfig(system.bundle));
   pipeline.ProcessAll(messages);
 
   const auto& cb = pipeline.candidate_base();

@@ -7,8 +7,11 @@
 // classic unbounded growth ("collective processing ... evolves with the
 // stream itself", Sec. V).
 //
-// Usage: streaming_covid [scale] [batch_size] [window_messages]
-//   window_messages = 0 (default) disables eviction.
+// Usage: streaming_covid [--model=bundle.ngb] [scale] [batch_size]
+//                        [window_messages]
+//   window_messages = 0 (default) disables eviction. With --model, the
+//   trained bundle is loaded from the given `.ngb` file (see train_model)
+//   instead of training here.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,12 +19,13 @@
 
 #include "common/metrics.h"
 #include "data/generator.h"
-#include "harness/experiment.h"
+#include "harness/system_loader.h"
 #include "stream/message.h"
 #include "stream/streaming_session.h"
 
 int main(int argc, char** argv) {
   using namespace nerglob;
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
   const double scale = argc > 1 ? std::atof(argv[1]) : harness::DefaultScale();
   const size_t batch_size = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 100;
   const size_t window = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 0;
@@ -34,17 +38,22 @@ int main(int argc, char** argv) {
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
-  auto system = harness::BuildTrainedSystem(options);
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
 
   data::StreamGenerator gen(&system.kb_eval);
   auto messages = gen.Generate(data::MakeDatasetSpec("D2", scale));
   stream::StreamSource source(messages, batch_size);
 
   stream::StreamingSessionConfig config;
-  config.pipeline.cluster_threshold = system.cluster_threshold;
+  config.pipeline = core::DefaultPipelineConfig(system.bundle);
   config.pipeline.window_messages = window;
-  stream::StreamingSession session(system.model.get(), system.embedder.get(),
-                                   system.classifier.get(), config);
+  stream::StreamingSession session(&system.bundle, config);
   auto& pipeline = session.pipeline();
 
   std::printf("\n%8s %10s %10s %12s %12s %10s %10s\n", "batch", "live",

@@ -5,22 +5,29 @@
 // sees a topically coherent stream — the condition collective processing
 // exploits. Compared against a single shared pipeline over the firehose.
 //
-// Usage: topic_routing [scale]
+// Usage: topic_routing [--model=bundle.ngb] [scale]
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
 #include "data/topic_classifier.h"
-#include "harness/experiment.h"
+#include "harness/system_loader.h"
 
 int main(int argc, char** argv) {
   using namespace nerglob;
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
   const double scale = argc > 1 ? std::atof(argv[1]) : harness::DefaultScale();
   harness::BuildOptions options;
   options.scale = scale;
   options.cache_dir = harness::DefaultCacheDir();
-  auto system = harness::BuildTrainedSystem(options);
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
 
   // Train the router on a held-out multi-topic sample.
   data::StreamGenerator gen(&system.kb_eval);
@@ -35,14 +42,14 @@ int main(int argc, char** argv) {
   // The firehose to annotate.
   auto firehose = gen.Generate(data::MakeDatasetSpec("D4", scale));
 
-  // Route into per-topic pipelines.
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
+  // Route into per-topic pipelines — each one a cheap session borrowing
+  // the same immutable bundle.
+  const core::NerGlobalizerConfig config =
+      core::DefaultPipelineConfig(system.bundle);
   std::vector<core::NerGlobalizer> per_topic;
   per_topic.reserve(data::kNumTopics);
   for (int t = 0; t < data::kNumTopics; ++t) {
-    per_topic.emplace_back(system.model.get(), system.embedder.get(),
-                           system.classifier.get(), config);
+    per_topic.emplace_back(&system.bundle, config);
   }
   std::vector<std::vector<stream::Message>> routed(data::kNumTopics);
   for (const auto& msg : firehose) {
@@ -74,8 +81,7 @@ int main(int argc, char** argv) {
   auto routed_scores = eval::EvaluateNer(gold, routed_preds);
 
   // Baseline: one shared pipeline over the whole firehose.
-  core::NerGlobalizer shared(system.model.get(), system.embedder.get(),
-                             system.classifier.get(), config);
+  core::NerGlobalizer shared(&system.bundle, config);
   shared.ProcessAll(firehose, 256);
   auto shared_scores = eval::EvaluateNer(gold, shared.Predictions());
 

@@ -1,0 +1,81 @@
+// Train-once entry point for the model/session split: runs the offline
+// training phase (Local NER fine-tune + Phrase Embedder + Entity
+// Classifier) and saves the resulting immutable ModelBundle as a `.ngb`
+// artifact. Every other example then loads it with --model=<path> instead
+// of retraining — train once, serve many sessions.
+//
+// Usage: train_model [out.ngb] [scale]
+//
+// After saving, the bundle is reloaded and its forward outputs compared
+// against the in-memory system, so a zero exit status certifies the
+// artifact round-trips bit-identically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/timer.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace nerglob;
+  const std::string out_path = argc > 1 ? argv[1] : "model.ngb";
+  const double scale = argc > 2 ? std::atof(argv[2]) : harness::DefaultScale();
+
+  harness::BuildOptions options;
+  options.scale = scale;
+  options.cache_dir = harness::DefaultCacheDir();
+
+  std::printf("== training model bundle (scale %.2f) ==\n", scale);
+  WallTimer train_timer;
+  auto system = harness::BuildTrainedSystem(options);
+  std::printf("trained in %.1fs (LM loss %.3f, embedder val loss %.4f, "
+              "classifier val macro-F1 %.1f%%)\n",
+              train_timer.ElapsedSeconds(), system.fine_tune_loss,
+              system.embedder_result.validation_loss,
+              100.0 * system.classifier_result.validation_macro_f1);
+
+  system.bundle.set_training_stats(harness::StatsFromSystem(system));
+  WallTimer save_timer;
+  if (const Status st = system.bundle.Save(out_path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s in %.2fs (fingerprint %s)\n", out_path.c_str(),
+              save_timer.ElapsedSeconds(),
+              system.bundle.Fingerprint().c_str());
+
+  // Verify the round trip: reload in this process and compare every
+  // parameter matrix bit-for-bit.
+  WallTimer load_timer;
+  Result<core::ModelBundle> reloaded = core::ModelBundle::Load(out_path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reloaded in %.2fs\n", load_timer.ElapsedSeconds());
+  const auto want = system.bundle.model().Parameters();
+  const auto got = reloaded->model().Parameters();
+  if (want.size() != got.size()) {
+    std::fprintf(stderr, "parameter count mismatch after reload\n");
+    return 1;
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    const Matrix& a = want[i].value();
+    const Matrix& b = got[i].value();
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+      std::fprintf(stderr, "parameter %zu shape mismatch\n", i);
+      return 1;
+    }
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (a.data()[k] != b.data()[k]) {
+        std::fprintf(stderr, "parameter %zu differs after reload\n", i);
+        return 1;
+      }
+    }
+  }
+  std::printf("round trip verified: reloaded weights are bit-identical\n");
+  std::printf("use it:  annotate_file --model=%s\n", out_path.c_str());
+  return 0;
+}

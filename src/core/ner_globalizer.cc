@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "io/tensor_io.h"
 
 namespace nerglob::core {
 
@@ -65,6 +66,12 @@ const char* PipelineStageName(PipelineStage stage) {
   return "unknown";
 }
 
+NerGlobalizerConfig DefaultPipelineConfig(const ModelBundle& bundle) {
+  NerGlobalizerConfig config;
+  config.cluster_threshold = bundle.config().cluster_threshold;
+  return config;
+}
+
 NerGlobalizer::NerGlobalizer(const lm::MicroBert* model,
                              const PhraseEmbedder* embedder,
                              const EntityClassifier* classifier,
@@ -80,17 +87,85 @@ NerGlobalizer::NerGlobalizer(const lm::MicroBert* model,
       << "cosine clustering threshold must stay below the triplet margin";
 }
 
+NerGlobalizer::NerGlobalizer(const ModelBundle* bundle,
+                             NerGlobalizerConfig config)
+    : NerGlobalizer(&bundle->model(), &bundle->embedder(),
+                    &bundle->classifier(), config) {
+  bundle_fingerprint_ = bundle->Fingerprint();
+}
+
+Status NerGlobalizer::Checkpoint(io::TensorWriter* writer) const {
+  writer->PutString(bundle_fingerprint_);
+  // The config is echoed so a checkpoint cannot be restored into a
+  // pipeline that would interpret the state differently (other window,
+  // other clustering cut).
+  writer->PutF32(config_.cluster_threshold);
+  writer->PutU64(config_.max_mention_span);
+  writer->PutU64(config_.window_messages);
+  writer->PutU32(config_.incremental_refresh ? 1 : 0);
+  writer->PutF64(local_seconds_);
+  writer->PutF64(global_seconds_);
+  NERGLOB_RETURN_IF_ERROR(writer->EndRecord(io::kTagCheckpoint));
+  return state_.Save(writer);
+}
+
+Status NerGlobalizer::Restore(io::TensorReader* reader) {
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagCheckpoint));
+  std::string fingerprint;
+  float threshold = 0.0f;
+  uint64_t max_span = 0, window = 0;
+  uint32_t incremental = 0;
+  double local_s = 0.0, global_s = 0.0;
+  if (!reader->GetString(&fingerprint) || !reader->GetF32(&threshold) ||
+      !reader->GetU64(&max_span) || !reader->GetU64(&window) ||
+      !reader->GetU32(&incremental) || !reader->GetF64(&local_s) ||
+      !reader->GetF64(&global_s)) {
+    return reader->status().ok()
+               ? Status::InvalidArgument(
+                     StrFormat("'%s': corrupt checkpoint header",
+                               reader->path().c_str()))
+               : reader->status();
+  }
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
+  if (!fingerprint.empty() && !bundle_fingerprint_.empty() &&
+      fingerprint != bundle_fingerprint_) {
+    return Status::FailedPrecondition(StrFormat(
+        "'%s': checkpoint was written against bundle %s, this pipeline "
+        "uses bundle %s",
+        reader->path().c_str(), fingerprint.c_str(),
+        bundle_fingerprint_.c_str()));
+  }
+  if (threshold != config_.cluster_threshold ||
+      max_span != config_.max_mention_span ||
+      window != config_.window_messages ||
+      (incremental != 0) != config_.incremental_refresh) {
+    return Status::FailedPrecondition(StrFormat(
+        "'%s': checkpoint pipeline config (threshold=%.6f span=%llu "
+        "window=%llu incremental=%u) does not match this pipeline's",
+        reader->path().c_str(), static_cast<double>(threshold),
+        static_cast<unsigned long long>(max_span),
+        static_cast<unsigned long long>(window), incremental));
+  }
+  // StreamState::Load is itself two-phase, so a corrupt state record
+  // leaves this pipeline untouched; only the timing counters must wait
+  // for it to succeed.
+  NERGLOB_RETURN_IF_ERROR(state_.Load(reader));
+  local_seconds_ = local_s;
+  global_seconds_ = global_s;
+  return Status::OK();
+}
+
 void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
   static const trace::TraceStage kStage("process_batch");
   trace::TraceSpan batch_span(kStage);
   WallTimer batch_timer;
 
   // Ids of sentences that existed before this batch (for the delta rescan).
-  std::vector<int64_t> old_ids = tweet_base_.ids();
+  std::vector<int64_t> old_ids = state_.tweet_base.ids();
 
   WallTimer local_timer;
   std::vector<LocalNer::Output> outputs =
-      local_ner_.ProcessBatch(batch, &tweet_base_, &trie_);
+      local_ner_.ProcessBatch(batch, &state_.tweet_base, &state_.trie);
   local_seconds_ += local_timer.ElapsedSeconds();
 
   WallTimer global_timer;
@@ -99,7 +174,7 @@ void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
   trie::CandidateTrie delta;
   std::vector<int64_t> new_ids;
   for (const LocalNer::Output& out : outputs) {
-    if (tweet_base_.Find(out.message_id) != nullptr) new_ids.push_back(out.message_id);
+    if (state_.tweet_base.Find(out.message_id) != nullptr) new_ids.push_back(out.message_id);
     for (const std::string& surface : out.new_surfaces) {
       delta.Insert(SplitChar(surface, ' '));
     }
@@ -107,20 +182,20 @@ void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
     // and seed support for the eviction bookkeeping: every live local span
     // counts one unit of support for its surface form. Eviction decrements
     // symmetrically by re-decoding the stored BIO labels.
-    const stream::SentenceRecord* rec = tweet_base_.Find(out.message_id);
+    const stream::SentenceRecord* rec = state_.tweet_base.Find(out.message_id);
     for (const text::EntitySpan& span : out.local_spans) {
       const std::string surface =
           SpanSurfaceString(rec->message, span.begin_token, span.end_token);
-      ++local_type_votes_[surface][static_cast<size_t>(span.type)];
-      ++seed_support_[surface];
+      ++state_.local_type_votes[surface][static_cast<size_t>(span.type)];
+      ++state_.seed_support[surface];
     }
   }
 
-  ExtractMentionsInto(new_ids, trie_);
+  ExtractMentionsInto(new_ids, state_.trie);
   if (delta.size() > 0) ExtractMentionsInto(old_ids, delta);
   RefreshCandidates();
   if (config_.window_messages > 0 &&
-      tweet_base_.size() > config_.window_messages) {
+      state_.tweet_base.size() > config_.window_messages) {
     EvictToWindow();
   }
   global_seconds_ += global_timer.ElapsedSeconds();
@@ -168,7 +243,7 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
   std::vector<std::vector<Found>> found(ids.size());
   ParallelFor(0, ids.size(), /*grain=*/4, [&](size_t idx) {
     const int64_t id = ids[idx];
-    const stream::SentenceRecord* record = tweet_base_.Find(id);
+    const stream::SentenceRecord* record = state_.tweet_base.Find(id);
     if (record == nullptr || record->message.tokens.empty()) return;
     std::vector<std::string> match_tokens;
     match_tokens.reserve(record->message.tokens.size());
@@ -184,13 +259,13 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
       f.mention.begin_token = span.begin;
       f.mention.end_token = span.end;
       f.surface = SpanSurfaceString(record->message, span.begin, span.end);
-      if (dedup && candidate_base_.ContainsMention(f.surface, id, span.begin,
+      if (dedup && state_.candidate_base.ContainsMention(f.surface, id, span.begin,
                                                    span.end)) {
         continue;
       }
       if (use_cache) {
-        auto it = embed_cache_.find(SpanKey{id, span.begin, span.end});
-        if (it != embed_cache_.end()) {
+        auto it = state_.embed_cache.find(SpanKey{id, span.begin, span.end});
+        if (it != state_.embed_cache.end()) {
           f.mention.local_embedding = it->second;
           f.cache_hit = true;
         }
@@ -218,19 +293,19 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
           ++hits;
         } else {
           ++misses;
-          embed_cache_.emplace(
+          state_.embed_cache.emplace(
               SpanKey{f.mention.message_id, f.mention.begin_token,
                       f.mention.end_token},
               f.mention.local_embedding);
         }
       }
-      candidate_base_.AddMention(f.surface, std::move(f.mention));
+      state_.candidate_base.AddMention(f.surface, std::move(f.mention));
       touched.insert(std::move(f.surface));
     }
   }
-  for (const auto& surface : touched) dirty_surfaces_.push_back(surface);
-  embed_cache_hits_ += hits;
-  embed_cache_misses_ += misses;
+  for (const auto& surface : touched) state_.dirty_surfaces.push_back(surface);
+  state_.embed_cache_hits += hits;
+  state_.embed_cache_misses += misses;
 
   if (metrics::Enabled()) {
     auto& registry = metrics::MetricsRegistry::Global();
@@ -253,7 +328,7 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
 
 std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
     const std::string& surface) const {
-  const auto& pool = candidate_base_.Mentions(surface);
+  const auto& pool = state_.candidate_base.Mentions(surface);
   if (pool.empty()) return {};
   const size_t n = pool.size();
   const size_t dim = pool[0].local_embedding.cols();
@@ -342,34 +417,34 @@ void NerGlobalizer::RefreshCandidates() {
     // Reference path: rebuild every surface, not just the dirty set. The
     // per-surface build is a pure function of the mention pool, so this
     // produces bit-identical candidates while doing strictly more work.
-    dirty_surfaces_ = candidate_base_.surfaces();
+    state_.dirty_surfaces = state_.candidate_base.surfaces();
   }
-  std::sort(dirty_surfaces_.begin(), dirty_surfaces_.end());
-  dirty_surfaces_.erase(
-      std::unique(dirty_surfaces_.begin(), dirty_surfaces_.end()),
-      dirty_surfaces_.end());
+  std::sort(state_.dirty_surfaces.begin(), state_.dirty_surfaces.end());
+  state_.dirty_surfaces.erase(
+      std::unique(state_.dirty_surfaces.begin(), state_.dirty_surfaces.end()),
+      state_.dirty_surfaces.end());
 
   // Phase 1 (parallel): per-surface clustering + classification only reads
   // the CandidateBase. Phase 2 writes the results back serially in sorted
   // surface order, so the base's state is thread-count independent.
-  std::vector<std::vector<stream::CandidateEntry>> built(dirty_surfaces_.size());
-  ParallelFor(0, dirty_surfaces_.size(), /*grain=*/1, [&](size_t i) {
-    built[i] = BuildCandidates(dirty_surfaces_[i]);
+  std::vector<std::vector<stream::CandidateEntry>> built(state_.dirty_surfaces.size());
+  ParallelFor(0, state_.dirty_surfaces.size(), /*grain=*/1, [&](size_t i) {
+    built[i] = BuildCandidates(state_.dirty_surfaces[i]);
   });
-  for (size_t i = 0; i < dirty_surfaces_.size(); ++i) {
+  for (size_t i = 0; i < state_.dirty_surfaces.size(); ++i) {
     // Empty means the surface had no mentions (seed behavior: skip).
     if (built[i].empty()) continue;
-    candidate_base_.SetCandidates(dirty_surfaces_[i], std::move(built[i]));
+    state_.candidate_base.SetCandidates(state_.dirty_surfaces[i], std::move(built[i]));
   }
-  dirty_surfaces_.clear();
+  state_.dirty_surfaces.clear();
 }
 
 void NerGlobalizer::EvictToWindow() {
   static const trace::TraceStage kStage("evict");
   trace::TraceSpan span(kStage);
-  const size_t count = tweet_base_.size() - config_.window_messages;
-  const std::vector<int64_t> evict_order(tweet_base_.ids().begin(),
-                                         tweet_base_.ids().begin() +
+  const size_t count = state_.tweet_base.size() - config_.window_messages;
+  const std::vector<int64_t> evict_order(state_.tweet_base.ids().begin(),
+                                         state_.tweet_base.ids().begin() +
                                              static_cast<std::ptrdiff_t>(count));
   const std::unordered_set<int64_t> evicted(evict_order.begin(),
                                             evict_order.end());
@@ -378,9 +453,9 @@ void NerGlobalizer::EvictToWindow() {
   // its candidates are still live (RefreshCandidates just ran, so the
   // partition reflects everything up to and including this batch).
   std::unordered_map<int64_t, std::vector<text::EntitySpan>> flushed;
-  for (const std::string& surface : candidate_base_.surfaces()) {
-    const auto& pool = candidate_base_.Mentions(surface);
-    for (const auto& entry : candidate_base_.Candidates(surface)) {
+  for (const std::string& surface : state_.candidate_base.surfaces()) {
+    const auto& pool = state_.candidate_base.Mentions(surface);
+    for (const auto& entry : state_.candidate_base.Candidates(surface)) {
       if (!entry.is_entity) continue;
       for (size_t mention_id : entry.mention_ids) {
         const stream::MentionRecord& m = pool[mention_id];
@@ -391,7 +466,7 @@ void NerGlobalizer::EvictToWindow() {
     }
   }
   for (int64_t id : evict_order) {
-    finalized_.push_back({id, ResolveOverlaps(std::move(flushed[id]))});
+    state_.finalized.push_back({id, ResolveOverlaps(std::move(flushed[id]))});
   }
 
   // 2. Withdraw the departing messages' seed support. Surfaces that drop
@@ -399,19 +474,19 @@ void NerGlobalizer::EvictToWindow() {
   // from-scratch rebuild of the window would never register them.
   std::vector<std::string> pruned;
   for (int64_t id : evict_order) {
-    const stream::SentenceRecord* rec = tweet_base_.Find(id);
+    const stream::SentenceRecord* rec = state_.tweet_base.Find(id);
     if (rec == nullptr) continue;
     for (const text::EntitySpan& span : text::DecodeBio(rec->local_bio)) {
       const std::string surface =
           SpanSurfaceString(rec->message, span.begin_token, span.end_token);
-      auto votes = local_type_votes_.find(surface);
-      if (votes != local_type_votes_.end()) {
+      auto votes = state_.local_type_votes.find(surface);
+      if (votes != state_.local_type_votes.end()) {
         --votes->second[static_cast<size_t>(span.type)];
       }
-      auto it = seed_support_.find(surface);
-      if (it == seed_support_.end()) continue;
+      auto it = state_.seed_support.find(surface);
+      if (it == state_.seed_support.end()) continue;
       if (--it->second <= 0) {
-        seed_support_.erase(it);
+        state_.seed_support.erase(it);
         pruned.push_back(surface);
       }
     }
@@ -425,7 +500,7 @@ void NerGlobalizer::EvictToWindow() {
   // the region it used to cover. Collect them before the pools change.
   std::vector<int64_t> rescan_ids;
   for (const std::string& surface : pruned) {
-    for (const stream::MentionRecord& m : candidate_base_.Mentions(surface)) {
+    for (const stream::MentionRecord& m : state_.candidate_base.Mentions(surface)) {
       if (evicted.count(m.message_id) == 0) rescan_ids.push_back(m.message_id);
     }
   }
@@ -435,31 +510,31 @@ void NerGlobalizer::EvictToWindow() {
 
   // 4. Drop evicted mentions everywhere, then remove pruned surfaces
   // wholesale (trie entry, pool, candidates, votes).
-  std::vector<std::string> changed = candidate_base_.RemoveMentionsOf(evicted);
+  std::vector<std::string> changed = state_.candidate_base.RemoveMentionsOf(evicted);
   const std::unordered_set<std::string> pruned_set(pruned.begin(), pruned.end());
   for (const std::string& surface : pruned) {
-    trie_.Remove(SplitChar(surface, ' '));
-    candidate_base_.RemoveSurface(surface);
-    local_type_votes_.erase(surface);
+    state_.trie.Remove(SplitChar(surface, ' '));
+    state_.candidate_base.RemoveSurface(surface);
+    state_.local_type_votes.erase(surface);
   }
 
   // 5. Retire the records themselves and their cache entries.
-  tweet_base_.EvictOldest(count);
-  for (auto it = embed_cache_.begin(); it != embed_cache_.end();) {
+  state_.tweet_base.EvictOldest(count);
+  for (auto it = state_.embed_cache.begin(); it != state_.embed_cache.end();) {
     if (evicted.count(it->first.message_id) > 0) {
-      it = embed_cache_.erase(it);
+      it = state_.embed_cache.erase(it);
     } else {
       ++it;
     }
   }
-  evicted_messages_ += count;
+  state_.evicted_messages += count;
 
   // 6. Re-scan affected live sentences (dedup: only genuinely new spans
   // are added; their embeddings come from the cache when possible), then
   // rebuild every eviction-touched surface so candidates never dangle.
-  ExtractMentionsInto(rescan_ids, trie_, /*dedup=*/true);
+  ExtractMentionsInto(rescan_ids, state_.trie, /*dedup=*/true);
   for (const std::string& surface : changed) {
-    if (pruned_set.count(surface) == 0) dirty_surfaces_.push_back(surface);
+    if (pruned_set.count(surface) == 0) state_.dirty_surfaces.push_back(surface);
   }
   RefreshCandidates();
 
@@ -477,42 +552,28 @@ void NerGlobalizer::EvictToWindow() {
         registry.GetGauge("stream.memory_bytes");
     evictions->Increment(count);
     pruned_total->Increment(pruned.size());
-    window_messages->Set(static_cast<double>(tweet_base_.size()));
-    window_surfaces->Set(static_cast<double>(trie_.size()));
+    window_messages->Set(static_cast<double>(state_.tweet_base.size()));
+    window_surfaces->Set(static_cast<double>(state_.trie.size()));
     memory_bytes->Set(static_cast<double>(MemoryUsage().total_bytes));
   }
 }
 
 std::vector<FinalizedMessage> NerGlobalizer::TakeFinalized() {
   std::vector<FinalizedMessage> out;
-  out.swap(finalized_);
+  out.swap(state_.finalized);
   return out;
-}
-
-PipelineMemoryUsage NerGlobalizer::MemoryUsage() const {
-  PipelineMemoryUsage usage;
-  usage.tweet_base_bytes = tweet_base_.MemoryUsageBytes();
-  usage.candidate_base_bytes = candidate_base_.MemoryUsageBytes();
-  usage.trie_bytes = trie_.MemoryUsageBytes();
-  usage.embed_cache_bytes = embed_cache_.size() * sizeof(SpanKey);
-  for (const auto& [key, emb] : embed_cache_) {
-    usage.embed_cache_bytes += emb.size() * sizeof(float) + sizeof(void*) * 2;
-  }
-  usage.total_bytes = usage.tweet_base_bytes + usage.candidate_base_bytes +
-                      usage.trie_bytes + usage.embed_cache_bytes;
-  return usage;
 }
 
 std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictions()
     const {
-  const std::vector<int64_t>& ids = tweet_base_.ids();
+  const std::vector<int64_t>& ids = state_.tweet_base.ids();
   std::unordered_map<int64_t, size_t> index_of;
   index_of.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) index_of[ids[i]] = i;
   std::vector<std::vector<text::EntitySpan>> out(ids.size());
 
-  for (const std::string& surface : candidate_base_.surfaces()) {
-    const auto& pool = candidate_base_.Mentions(surface);
+  for (const std::string& surface : state_.candidate_base.surfaces()) {
+    const auto& pool = state_.candidate_base.Mentions(surface);
     if (pool.empty()) continue;
     const size_t dim = pool[0].local_embedding.cols();
     // One candidate per surface form: pool ALL mentions together
@@ -536,7 +597,7 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictio
 
 std::vector<std::vector<text::EntitySpan>> NerGlobalizer::Predictions(
     PipelineStage stage) {
-  const std::vector<int64_t>& ids = tweet_base_.ids();
+  const std::vector<int64_t>& ids = state_.tweet_base.ids();
   std::unordered_map<int64_t, size_t> index_of;
   index_of.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) index_of[ids[i]] = i;
@@ -549,31 +610,31 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::Predictions(
   switch (stage) {
     case PipelineStage::kLocalOnly: {
       for (size_t i = 0; i < ids.size(); ++i) {
-        const stream::SentenceRecord* rec = tweet_base_.Find(ids[i]);
+        const stream::SentenceRecord* rec = state_.tweet_base.Find(ids[i]);
         out[i] = text::DecodeBio(rec->local_bio);
       }
       return out;  // no overlap resolution needed: BIO is non-overlapping
     }
     case PipelineStage::kMentionExtraction: {
-      for (const std::string& surface : candidate_base_.surfaces()) {
-        auto it = local_type_votes_.find(surface);
+      for (const std::string& surface : state_.candidate_base.surfaces()) {
+        auto it = state_.local_type_votes.find(surface);
         text::EntityType type = text::EntityType::kPerson;
-        if (it != local_type_votes_.end()) {
+        if (it != state_.local_type_votes.end()) {
           size_t best = 0;
           for (size_t t = 1; t < text::kNumEntityTypes; ++t) {
             if (it->second[t] > it->second[best]) best = t;
           }
           type = static_cast<text::EntityType>(best);
         }
-        for (const auto& mention : candidate_base_.Mentions(surface)) {
+        for (const auto& mention : state_.candidate_base.Mentions(surface)) {
           add_mention(mention, type);
         }
       }
       break;
     }
     case PipelineStage::kLocalEmbeddings: {
-      for (const std::string& surface : candidate_base_.surfaces()) {
-        for (const auto& mention : candidate_base_.Mentions(surface)) {
+      for (const std::string& surface : state_.candidate_base.surfaces()) {
+        for (const auto& mention : state_.candidate_base.Mentions(surface)) {
           const EntityClassifier::Prediction pred =
               classifier_->Predict(mention.local_embedding);
           if (pred.is_entity()) add_mention(mention, pred.type());
@@ -582,9 +643,9 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::Predictions(
       break;
     }
     case PipelineStage::kFullGlobal: {
-      for (const std::string& surface : candidate_base_.surfaces()) {
-        const auto& pool = candidate_base_.Mentions(surface);
-        for (const auto& entry : candidate_base_.Candidates(surface)) {
+      for (const std::string& surface : state_.candidate_base.surfaces()) {
+        const auto& pool = state_.candidate_base.Mentions(surface);
+        for (const auto& entry : state_.candidate_base.Candidates(surface)) {
           if (!entry.is_entity) continue;
           for (size_t mention_id : entry.mention_ids) {
             add_mention(pool[mention_id], entry.type);

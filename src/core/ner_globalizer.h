@@ -1,21 +1,17 @@
 #ifndef NERGLOB_CORE_NER_GLOBALIZER_H_
 #define NERGLOB_CORE_NER_GLOBALIZER_H_
 
-#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "core/entity_classifier.h"
 #include "core/local_ner.h"
+#include "core/model_bundle.h"
 #include "core/phrase_embedder.h"
-#include "stream/candidate_base.h"
+#include "core/stream_state.h"
 #include "stream/message.h"
-#include "stream/tweet_base.h"
-#include "trie/candidate_trie.h"
 
 namespace nerglob::core {
 
@@ -57,27 +53,17 @@ struct NerGlobalizerConfig {
   bool incremental_refresh = true;
 };
 
-/// A message that left the sliding window: its id and the final Global NER
-/// spans it had at eviction time (the checkpoint the streaming session
-/// flushes downstream).
-struct FinalizedMessage {
-  int64_t message_id = 0;
-  std::vector<text::EntitySpan> spans;
-};
-
-/// Per-component heap accounting for the pipeline's stream state, in
-/// approximate bytes. With window_messages > 0 every component is bounded
-/// by the window content; unbounded otherwise.
-struct PipelineMemoryUsage {
-  size_t tweet_base_bytes = 0;
-  size_t candidate_base_bytes = 0;
-  size_t trie_bytes = 0;
-  size_t embed_cache_bytes = 0;
-  size_t total_bytes = 0;
-};
+/// The pipeline config a bundle was tuned with: defaults everywhere except
+/// the clustering cut, which comes from the bundle's training recipe.
+NerGlobalizerConfig DefaultPipelineConfig(const ModelBundle& bundle);
 
 /// The NER Globalizer pipeline (Fig. 2): Local NER -> mention extraction ->
 /// phrase embedding -> candidate clustering -> entity classification.
+///
+/// A thin engine in the model/session split: the trained models are
+/// borrowed const (directly or via a ModelBundle, shared across any number
+/// of concurrent pipelines) and all mutable stream state lives in one
+/// owned StreamState, checkpointable with Checkpoint()/Restore().
 ///
 /// Supports continuous execution over batches. With the default unbounded
 /// configuration every ProcessBatch extends the TweetBase/CTrie/
@@ -90,14 +76,20 @@ struct PipelineMemoryUsage {
 /// Thread-safety: the pipeline parallelizes internally (encoder forwards,
 /// trie scans, per-surface clustering fan out over the process thread
 /// pool) but its public interface is NOT thread-safe — call ProcessBatch /
-/// Predictions / TakeFinalized from one thread at a time. Outputs are
-/// bit-identical for any NERGLOB_THREADS setting.
+/// Predictions / TakeFinalized from one thread at a time. Distinct
+/// pipelines over one const ModelBundle may run fully concurrently.
+/// Outputs are bit-identical for any NERGLOB_THREADS setting.
 class NerGlobalizer {
  public:
   /// All components must outlive the pipeline and be trained already
   /// (model fine-tuned, embedder + classifier trained on D5).
   NerGlobalizer(const lm::MicroBert* model, const PhraseEmbedder* embedder,
                 const EntityClassifier* classifier, NerGlobalizerConfig config);
+
+  /// Borrows a trained bundle (which must outlive the pipeline). Sessions
+  /// created this way stamp checkpoints with the bundle fingerprint, so a
+  /// checkpoint cannot be restored onto a different architecture.
+  NerGlobalizer(const ModelBundle* bundle, NerGlobalizerConfig config);
 
   /// Processes one batch of the stream (Sec. III execution cycle):
   /// Local NER, delta mention extraction, dirty-set candidate refresh,
@@ -129,9 +121,23 @@ class NerGlobalizer {
   /// resolving entity/non-entity surface-form ambiguity per cluster.
   std::vector<std::vector<text::EntitySpan>> EmdGlobalizerPredictions() const;
 
+  /// Appends the complete session state (one kTagCheckpoint header record:
+  /// bundle fingerprint, config echo, timing counters — then the
+  /// StreamState records) to an open artifact. Restoring the result
+  /// reproduces Predictions() bit-identically at every PipelineStage.
+  Status Checkpoint(io::TensorWriter* writer) const;
+
+  /// Restores a checkpoint written by Checkpoint. Fails (leaving the
+  /// current state untouched) if the checkpoint's bundle fingerprint or
+  /// pipeline config disagree with this pipeline's, or if any record is
+  /// corrupt, truncated, or version-mismatched.
+  Status Restore(io::TensorReader* reader);
+
   /// Message ids in stream order (aligned with Predictions()); the live
   /// window under eviction.
-  const std::vector<int64_t>& message_ids() const { return tweet_base_.ids(); }
+  const std::vector<int64_t>& message_ids() const {
+    return state_.tweet_base.ids();
+  }
 
   /// Cumulative wall-clock seconds spent in the Local NER step vs the
   /// Global NER steps (Table IV's execution-time columns).
@@ -141,19 +147,21 @@ class NerGlobalizer {
   /// Approximate heap footprint of the stream state (TweetBase +
   /// CandidateBase + CTrie + phrase-embedding cache). O(state size); call
   /// per batch, not per message.
-  PipelineMemoryUsage MemoryUsage() const;
+  PipelineMemoryUsage MemoryUsage() const { return state_.MemoryUsage(); }
 
   /// Messages evicted since construction (0 when unbounded).
-  size_t evicted_messages() const { return evicted_messages_; }
+  size_t evicted_messages() const { return state_.evicted_messages; }
   /// Phrase-embedding cache hits/misses (windowed mode only; the cache is
   /// disabled when window_messages == 0 because the unbounded pipeline
   /// never re-extracts a span it has already embedded).
-  size_t embed_cache_hits() const { return embed_cache_hits_; }
-  size_t embed_cache_misses() const { return embed_cache_misses_; }
+  size_t embed_cache_hits() const { return state_.embed_cache_hits; }
+  size_t embed_cache_misses() const { return state_.embed_cache_misses; }
 
-  const stream::TweetBase& tweet_base() const { return tweet_base_; }
-  const stream::CandidateBase& candidate_base() const { return candidate_base_; }
-  const trie::CandidateTrie& trie() const { return trie_; }
+  const stream::TweetBase& tweet_base() const { return state_.tweet_base; }
+  const stream::CandidateBase& candidate_base() const {
+    return state_.candidate_base;
+  }
+  const trie::CandidateTrie& trie() const { return state_.trie; }
   const NerGlobalizerConfig& config() const { return config_; }
 
  private:
@@ -184,53 +192,16 @@ class NerGlobalizer {
   /// and refreshes every eviction-touched surface.
   void EvictToWindow();
 
-  /// Cache key for one embedded span: (message id, token span).
-  struct SpanKey {
-    int64_t message_id = 0;
-    size_t begin = 0;
-    size_t end = 0;
-    friend bool operator==(const SpanKey& a, const SpanKey& b) {
-      return a.message_id == b.message_id && a.begin == b.begin &&
-             a.end == b.end;
-    }
-  };
-  struct SpanKeyHash {
-    size_t operator()(const SpanKey& k) const {
-      size_t h = std::hash<int64_t>()(k.message_id);
-      h = h * 1000003u ^ std::hash<size_t>()(k.begin);
-      h = h * 1000003u ^ std::hash<size_t>()(k.end);
-      return h;
-    }
-  };
-
   const lm::MicroBert* model_;
   const PhraseEmbedder* embedder_;
   const EntityClassifier* classifier_;
   NerGlobalizerConfig config_;
   LocalNer local_ner_;
+  /// Architecture fingerprint stamped into checkpoints; empty when built
+  /// from raw component pointers (fingerprint checks are then skipped).
+  std::string bundle_fingerprint_;
 
-  stream::TweetBase tweet_base_;
-  trie::CandidateTrie trie_;
-  stream::CandidateBase candidate_base_;
-  /// Most-frequent-local-type votes per surface (for kMentionExtraction).
-  /// Decremented on eviction so the votes always describe the live window.
-  std::map<std::string, std::array<int, text::kNumEntityTypes>> local_type_votes_;
-  /// Surfaces whose mention pool changed since the last RefreshCandidates.
-  std::vector<std::string> dirty_surfaces_;
-  /// Per-surface count of live local-NER spans that seeded it. A surface
-  /// whose support reaches zero under eviction is pruned from the CTrie and
-  /// the CandidateBase — exactly the surfaces a from-scratch rebuild of the
-  /// window would never have seeded.
-  std::unordered_map<std::string, int> seed_support_;
-  /// Memoized PhraseEmbedder outputs keyed by (message id, span); entries
-  /// live as long as their message. Only populated in windowed mode.
-  std::unordered_map<SpanKey, Matrix, SpanKeyHash> embed_cache_;
-  /// Predictions flushed by eviction, awaiting TakeFinalized().
-  std::vector<FinalizedMessage> finalized_;
-
-  size_t evicted_messages_ = 0;
-  size_t embed_cache_hits_ = 0;
-  size_t embed_cache_misses_ = 0;
+  StreamState state_;
 
   double local_seconds_ = 0.0;
   double global_seconds_ = 0.0;

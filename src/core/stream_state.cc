@@ -1,0 +1,212 @@
+#include "core/stream_state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "io/tensor_io.h"
+
+namespace nerglob::core {
+
+PipelineMemoryUsage StreamState::MemoryUsage() const {
+  PipelineMemoryUsage usage;
+  usage.tweet_base_bytes = tweet_base.MemoryUsageBytes();
+  usage.candidate_base_bytes = candidate_base.MemoryUsageBytes();
+  usage.trie_bytes = trie.MemoryUsageBytes();
+  usage.embed_cache_bytes = embed_cache.size() * sizeof(SpanKey);
+  for (const auto& [key, emb] : embed_cache) {
+    usage.embed_cache_bytes += emb.size() * sizeof(float) + sizeof(void*) * 2;
+  }
+  usage.total_bytes = usage.tweet_base_bytes + usage.candidate_base_bytes +
+                      usage.trie_bytes + usage.embed_cache_bytes;
+  return usage;
+}
+
+Status StreamState::Save(io::TensorWriter* writer) const {
+  NERGLOB_RETURN_IF_ERROR(tweet_base.Save(writer));
+  NERGLOB_RETURN_IF_ERROR(candidate_base.Save(writer));
+
+  // Trie: the registered form set fully determines scan behavior; Forms()
+  // returns it sorted, so the record bytes are history-independent.
+  const std::vector<std::vector<std::string>> forms = trie.Forms();
+  writer->PutU64(forms.size());
+  for (const auto& form : forms) {
+    writer->PutU64(form.size());
+    for (const std::string& tok : form) writer->PutString(tok);
+  }
+  NERGLOB_RETURN_IF_ERROR(writer->EndRecord(io::kTagTrie));
+
+  // Pipeline bookkeeping. Unordered containers are serialized in sorted
+  // key order so identical states write identical bytes.
+  writer->PutU64(local_type_votes.size());
+  for (const auto& [surface, votes] : local_type_votes) {
+    writer->PutString(surface);
+    for (int v : votes) writer->PutI64(v);
+  }
+  writer->PutU64(dirty_surfaces.size());
+  for (const std::string& s : dirty_surfaces) writer->PutString(s);
+
+  std::vector<std::pair<std::string, int>> support(seed_support.begin(),
+                                                   seed_support.end());
+  std::sort(support.begin(), support.end());
+  writer->PutU64(support.size());
+  for (const auto& [surface, count] : support) {
+    writer->PutString(surface);
+    writer->PutI64(count);
+  }
+
+  std::vector<const std::pair<const SpanKey, Matrix>*> cache_entries;
+  cache_entries.reserve(embed_cache.size());
+  for (const auto& kv : embed_cache) cache_entries.push_back(&kv);
+  std::sort(cache_entries.begin(), cache_entries.end(),
+            [](const auto* a, const auto* b) {
+              const SpanKey& x = a->first;
+              const SpanKey& y = b->first;
+              if (x.message_id != y.message_id)
+                return x.message_id < y.message_id;
+              if (x.begin != y.begin) return x.begin < y.begin;
+              return x.end < y.end;
+            });
+  writer->PutU64(cache_entries.size());
+  for (const auto* kv : cache_entries) {
+    writer->PutI64(kv->first.message_id);
+    writer->PutU64(kv->first.begin);
+    writer->PutU64(kv->first.end);
+    writer->PutMatrix(kv->second);
+  }
+
+  writer->PutU64(finalized.size());
+  for (const FinalizedMessage& fm : finalized) {
+    writer->PutI64(fm.message_id);
+    writer->PutU64(fm.spans.size());
+    for (const text::EntitySpan& span : fm.spans) {
+      writer->PutU64(span.begin_token);
+      writer->PutU64(span.end_token);
+      writer->PutU32(static_cast<uint32_t>(span.type));
+    }
+  }
+
+  writer->PutU64(evicted_messages);
+  writer->PutU64(embed_cache_hits);
+  writer->PutU64(embed_cache_misses);
+  return writer->EndRecord(io::kTagPipelineState);
+}
+
+Status StreamState::Load(io::TensorReader* reader) {
+  StreamState restored;
+  NERGLOB_RETURN_IF_ERROR(restored.tweet_base.Load(reader));
+  NERGLOB_RETURN_IF_ERROR(restored.candidate_base.Load(reader));
+
+  auto fail = [&](const char* what) {
+    return reader->status().ok()
+               ? Status::InvalidArgument(
+                     StrFormat("'%s': corrupt stream-state record (%s)",
+                               reader->path().c_str(), what))
+               : reader->status();
+  };
+
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagTrie));
+  uint64_t num_forms = 0;
+  if (!reader->GetU64(&num_forms)) return fail("trie count");
+  for (uint64_t i = 0; i < num_forms; ++i) {
+    uint64_t num_tokens = 0;
+    if (!reader->GetU64(&num_tokens) ||
+        num_tokens > reader->RemainingInRecord()) {
+      return fail("trie form");
+    }
+    std::vector<std::string> form(num_tokens);
+    for (std::string& tok : form) {
+      if (!reader->GetString(&tok)) return fail("trie token");
+    }
+    restored.trie.Insert(form);
+  }
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
+
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagPipelineState));
+  uint64_t count = 0;
+  if (!reader->GetU64(&count)) return fail("votes count");
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string surface;
+    if (!reader->GetString(&surface)) return fail("vote surface");
+    std::array<int, text::kNumEntityTypes> votes{};
+    for (int& v : votes) {
+      int64_t raw = 0;
+      if (!reader->GetI64(&raw)) return fail("vote");
+      v = static_cast<int>(raw);
+    }
+    restored.local_type_votes.emplace(std::move(surface), votes);
+  }
+
+  if (!reader->GetU64(&count) || count > reader->RemainingInRecord()) {
+    return fail("dirty count");
+  }
+  restored.dirty_surfaces.resize(count);
+  for (std::string& s : restored.dirty_surfaces) {
+    if (!reader->GetString(&s)) return fail("dirty surface");
+  }
+
+  if (!reader->GetU64(&count)) return fail("support count");
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string surface;
+    int64_t support = 0;
+    if (!reader->GetString(&surface) || !reader->GetI64(&support)) {
+      return fail("support entry");
+    }
+    restored.seed_support.emplace(std::move(surface),
+                                  static_cast<int>(support));
+  }
+
+  if (!reader->GetU64(&count)) return fail("cache count");
+  for (uint64_t i = 0; i < count; ++i) {
+    SpanKey key;
+    uint64_t begin = 0, end = 0;
+    Matrix emb;
+    if (!reader->GetI64(&key.message_id) || !reader->GetU64(&begin) ||
+        !reader->GetU64(&end) || !reader->GetMatrix(&emb)) {
+      return fail("cache entry");
+    }
+    key.begin = begin;
+    key.end = end;
+    restored.embed_cache.emplace(key, std::move(emb));
+  }
+
+  if (!reader->GetU64(&count) || count > reader->RemainingInRecord()) {
+    return fail("finalized count");
+  }
+  restored.finalized.resize(count);
+  for (FinalizedMessage& fm : restored.finalized) {
+    uint64_t num_spans = 0;
+    if (!reader->GetI64(&fm.message_id) || !reader->GetU64(&num_spans) ||
+        num_spans > reader->RemainingInRecord()) {
+      return fail("finalized message");
+    }
+    fm.spans.resize(num_spans);
+    for (text::EntitySpan& span : fm.spans) {
+      uint64_t begin = 0, end = 0;
+      uint32_t type = 0;
+      if (!reader->GetU64(&begin) || !reader->GetU64(&end) ||
+          !reader->GetU32(&type) ||
+          type >= static_cast<uint32_t>(text::kNumEntityTypes)) {
+        return fail("finalized span");
+      }
+      span.begin_token = begin;
+      span.end_token = end;
+      span.type = static_cast<text::EntityType>(type);
+    }
+  }
+
+  uint64_t evicted = 0, hits = 0, misses = 0;
+  if (!reader->GetU64(&evicted) || !reader->GetU64(&hits) ||
+      !reader->GetU64(&misses)) {
+    return fail("counters");
+  }
+  restored.evicted_messages = static_cast<size_t>(evicted);
+  restored.embed_cache_hits = static_cast<size_t>(hits);
+  restored.embed_cache_misses = static_cast<size_t>(misses);
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
+
+  *this = std::move(restored);
+  return Status::OK();
+}
+
+}  // namespace nerglob::core

@@ -167,7 +167,16 @@ bool ParseSlot(const std::string& piece, EntityType* type) {
 }  // namespace
 
 DatasetSpec MakeDatasetSpec(const std::string& name, double scale) {
-  NERGLOB_CHECK(scale > 0.0 && scale <= 1.0);
+  Result<DatasetSpec> spec = TryMakeDatasetSpec(name, scale);
+  NERGLOB_CHECK(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+Result<DatasetSpec> TryMakeDatasetSpec(const std::string& name, double scale) {
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    return Status::InvalidArgument("dataset scale must be in (0, 1], got " +
+                                   std::to_string(scale));
+  }
   DatasetSpec spec;
   spec.name = name;
   auto scaled = [scale](size_t n) {
@@ -243,7 +252,9 @@ DatasetSpec MakeDatasetSpec(const std::string& name, double scale) {
     spec.noise.append_url = 0.05;
     spec.noise.append_emoticon = 0.0;
   } else {
-    NERGLOB_CHECK(false) << "unknown dataset spec: " << name;
+    return Status::InvalidArgument(
+        "unknown dataset spec: \"" + name +
+        "\" (expected D1..D5, WNUT17, BTC, TRAIN or TRAIN_CLEAN)");
   }
   return spec;
 }

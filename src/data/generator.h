@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/knowledge_base.h"
 #include "lm/micro_bert.h"
 #include "stream/message.h"
@@ -56,6 +57,12 @@ inline constexpr int kWorldVersion = 8;
 /// fine-tune Local NER). `scale` in (0,1] shrinks message counts
 /// proportionally for fast test/bench runs.
 DatasetSpec MakeDatasetSpec(const std::string& name, double scale = 1.0);
+
+/// Like MakeDatasetSpec but returns InvalidArgument for an unknown name or
+/// out-of-range scale instead of aborting — use when `name` comes from user
+/// input (argv, config files) rather than a compile-time literal.
+Result<DatasetSpec> TryMakeDatasetSpec(const std::string& name,
+                                       double scale = 1.0);
 
 /// Generates annotated messages for a spec from a knowledge base.
 /// Deterministic in (kb, spec.seed).

@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "io/tensor_io.h"
 
 namespace nerglob::harness {
 
@@ -34,37 +35,76 @@ std::string OptionsKey(const BuildOptions& o) {
                    static_cast<unsigned long long>(Fnv1aHash(os.str())));
 }
 
-constexpr size_t kNumAux = 8;
-
-void SaveParams(const std::string& path, const std::vector<ag::Var>& params,
-                const std::array<double, kNumAux>& aux) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return;
-  const uint64_t n = params.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(aux.data()),
-            static_cast<std::streamsize>(aux.size() * sizeof(double)));
-  for (const ag::Var& p : params) WriteMatrix(out, p.value());
+/// The architecture slice of the build options — what the bundle records.
+core::ModelBundleConfig BundleConfigFromOptions(const BuildOptions& o) {
+  core::ModelBundleConfig c;
+  c.lm = o.lm_config;
+  c.classifier_hidden = o.classifier_hidden;
+  c.pooling = o.pooling;
+  c.normalize_embedder = o.normalize_embedder;
+  c.cluster_threshold = o.cluster_threshold;
+  c.seed = o.seed;
+  return c;
 }
 
-bool LoadParams(const std::string& path, std::vector<ag::Var>* params,
-                std::array<double, kNumAux>* aux) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+/// Baseline-cache blob: all parameter matrices in one checksummed record.
+void SaveParams(const std::string& path, const std::vector<ag::Var>& params) {
+  io::TensorWriter writer(path);
+  writer.PutU64(params.size());
+  for (const ag::Var& p : params) writer.PutMatrix(p.value());
+  writer.EndRecord(io::kTagBlob);
+  const Status st = writer.Finish();
+  if (!st.ok()) {
+    NERGLOB_LOG(kWarning) << "baseline cache write failed: " << st.ToString();
+  }
+}
+
+bool LoadParams(const std::string& path, std::vector<ag::Var>* params) {
+  io::TensorReader reader(path);
+  if (!reader.NextRecord(io::kTagBlob).ok()) return false;
   uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in || n != params->size()) return false;
-  in.read(reinterpret_cast<char*>(aux->data()),
-          static_cast<std::streamsize>(aux->size() * sizeof(double)));
-  for (ag::Var& p : *params) {
-    Matrix m = ReadMatrix(in);
-    if (!in || m.rows() != p.rows() || m.cols() != p.cols()) return false;
-    p.mutable_value() = std::move(m);
+  if (!reader.GetU64(&n) || n != params->size()) return false;
+  std::vector<Matrix> staged(params->size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    if (!reader.GetMatrix(&staged[i]) ||
+        staged[i].rows() != (*params)[i].rows() ||
+        staged[i].cols() != (*params)[i].cols()) {
+      return false;
+    }
+  }
+  if (!reader.ExpectRecordEnd().ok()) return false;
+  for (size_t i = 0; i < staged.size(); ++i) {
+    (*params)[i].mutable_value() = std::move(staged[i]);
   }
   return true;
 }
 
 }  // namespace
+
+/// Packs the harness's provenance numbers into the bundle's stats vector
+/// (and back). Order matters; kept stable across cache generations.
+std::vector<double> StatsFromSystem(const TrainedSystem& s) {
+  return {s.fine_tune_loss,
+          s.embedder_result.train_loss,
+          s.embedder_result.validation_loss,
+          static_cast<double>(s.embedder_result.dataset_size),
+          static_cast<double>(s.embedder_result.epochs_run),
+          s.classifier_result.validation_macro_f1,
+          static_cast<double>(s.classifier_result.num_candidates),
+          static_cast<double>(s.d5_mention_examples)};
+}
+
+void StatsIntoSystem(const std::vector<double>& stats, TrainedSystem* s) {
+  if (stats.size() < 8) return;
+  s->fine_tune_loss = stats[0];
+  s->embedder_result.train_loss = stats[1];
+  s->embedder_result.validation_loss = stats[2];
+  s->embedder_result.dataset_size = static_cast<size_t>(stats[3]);
+  s->embedder_result.epochs_run = static_cast<int>(stats[4]);
+  s->classifier_result.validation_macro_f1 = stats[5];
+  s->classifier_result.num_candidates = static_cast<size_t>(stats[6]);
+  s->d5_mention_examples = static_cast<size_t>(stats[7]);
+}
 
 double DefaultScale() {
   if (const char* env = std::getenv("NERGLOB_SCALE"); env != nullptr) {
@@ -83,40 +123,25 @@ std::string DefaultCacheDir() {
 
 TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
   TrainedSystem system;
-  system.lm_config = options.lm_config;
-  system.cluster_threshold = options.cluster_threshold;
   system.kb_train = data::KnowledgeBase::BuildProceduralOnly(
       options.kb_entities_per_topic_type, options.seed * 31 + 1);
   system.kb_eval = data::KnowledgeBase::BuildStandard(
       options.kb_entities_per_topic_type, options.seed * 31 + 2);
-  system.model =
-      std::make_unique<lm::MicroBert>(options.lm_config, options.seed * 31 + 3);
-  Rng rng(options.seed * 31 + 4);
-  system.embedder = std::make_unique<core::PhraseEmbedder>(
-      options.lm_config.d_model, &rng, options.normalize_embedder);
-  system.classifier = std::make_unique<core::EntityClassifier>(
-      options.lm_config.d_model, options.classifier_hidden, &rng,
-      options.pooling);
+  system.bundle = core::ModelBundle(BundleConfigFromOptions(options));
 
-  // Cache lookup: all trained parameters in one blob.
+  // Cache lookup: the trained bundle as a regular `.ngb` artifact (the
+  // options hash keys the training recipe; the fingerprint check inside
+  // ModelBundle::Load guards the architecture).
   std::string cache_path;
-  std::vector<ag::Var> all_params = system.model->Parameters();
-  for (const ag::Var& p : system.embedder->Parameters()) all_params.push_back(p);
-  for (const ag::Var& p : system.classifier->Parameters()) all_params.push_back(p);
   if (!options.cache_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(options.cache_dir, ec);
-    cache_path = options.cache_dir + "/system_" + OptionsKey(options) + ".bin";
-    std::array<double, kNumAux> aux{};
-    if (LoadParams(cache_path, &all_params, &aux)) {
-      system.fine_tune_loss = aux[0];
-      system.embedder_result.train_loss = aux[1];
-      system.embedder_result.validation_loss = aux[2];
-      system.embedder_result.dataset_size = static_cast<size_t>(aux[3]);
-      system.embedder_result.epochs_run = static_cast<int>(aux[4]);
-      system.classifier_result.validation_macro_f1 = aux[5];
-      system.classifier_result.num_candidates = static_cast<size_t>(aux[6]);
-      system.d5_mention_examples = static_cast<size_t>(aux[7]);
+    cache_path = options.cache_dir + "/system_" + OptionsKey(options) + ".ngb";
+    Result<core::ModelBundle> cached = core::ModelBundle::Load(cache_path);
+    if (cached.ok() &&
+        cached->Fingerprint() == system.bundle.Fingerprint()) {
+      system.bundle = std::move(cached).value();
+      StatsIntoSystem(system.bundle.training_stats(), &system);
       return system;
     }
   }
@@ -140,7 +165,7 @@ TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
     lm::PretrainOptions po;
     po.epochs = options.pretrain_epochs;
     po.seed = options.seed * 31 + 9;
-    lm::PretrainMlm(system.model.get(), corpus, po);
+    lm::PretrainMlm(system.bundle.mutable_model(), corpus, po);
   }
 
   // 1. Fine-tune Local NER on the TRAIN corpus (procedural world).
@@ -149,13 +174,13 @@ TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
   ft.epochs = options.lm_epochs;
   ft.seed = options.seed * 31 + 5;
   system.fine_tune_loss =
-      lm::FineTuneForNer(system.model.get(),
+      lm::FineTuneForNer(system.bundle.mutable_model(),
                          data::ToLabeledSentences(train_msgs), ft);
 
   // 2. Collect D5 mention examples (eval world) for Global NER training.
   data::StreamGenerator eval_gen(&system.kb_eval);
   auto d5 = eval_gen.Generate(data::MakeDatasetSpec("D5", options.scale));
-  auto examples = core::CollectMentionExamples(d5, *system.model);
+  auto examples = core::CollectMentionExamples(d5, system.bundle.model());
   system.d5_mention_examples = examples.size();
 
   // 3. Train the Phrase Embedder with the chosen contrastive objective.
@@ -165,7 +190,7 @@ TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
   eo.max_triplets = options.max_triplets;
   eo.seed = options.seed * 31 + 6;
   system.embedder_result =
-      core::TrainPhraseEmbedder(system.embedder.get(), examples, eo);
+      core::TrainPhraseEmbedder(system.bundle.mutable_embedder(), examples, eo);
 
   // 4. Train the Entity Classifier on ground-truth clusters.
   core::ClassifierTrainOptions co;
@@ -173,21 +198,19 @@ TrainedSystem BuildTrainedSystem(const BuildOptions& options) {
   co.subset_augmentation = options.subset_augmentation;
   co.seed = options.seed * 31 + 7;
   system.classifier_result = core::TrainEntityClassifier(
-      system.classifier.get(), *system.embedder, examples, co);
+      system.bundle.mutable_classifier(), system.bundle.embedder(), examples,
+      co);
   NERGLOB_LOG(kInfo) << "trained: LM loss " << system.fine_tune_loss
                      << ", embedder val " << system.embedder_result.validation_loss
                      << ", classifier val macro-F1 "
                      << system.classifier_result.validation_macro_f1;
 
+  system.bundle.set_training_stats(StatsFromSystem(system));
   if (!cache_path.empty()) {
-    SaveParams(cache_path, all_params,
-               {system.fine_tune_loss, system.embedder_result.train_loss,
-                system.embedder_result.validation_loss,
-                static_cast<double>(system.embedder_result.dataset_size),
-                static_cast<double>(system.embedder_result.epochs_run),
-                system.classifier_result.validation_macro_f1,
-                static_cast<double>(system.classifier_result.num_candidates),
-                static_cast<double>(system.d5_mention_examples)});
+    const Status st = system.bundle.Save(cache_path);
+    if (!st.ok()) {
+      NERGLOB_LOG(kWarning) << "system cache write failed: " << st.ToString();
+    }
   }
   return system;
 }
@@ -210,10 +233,8 @@ DatasetRun RunDataset(const TrainedSystem& system, const std::string& dataset,
   data::StreamGenerator gen(&system.kb_eval);
   run.messages = gen.Generate(data::MakeDatasetSpec(dataset, scale));
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system.cluster_threshold;
-  core::NerGlobalizer pipeline(system.model.get(), system.embedder.get(),
-                               system.classifier.get(), config);
+  core::NerGlobalizer pipeline(&system.bundle,
+                               core::DefaultPipelineConfig(system.bundle));
   pipeline.ProcessAll(run.messages, batch_size);
   NERGLOB_CHECK_EQ(pipeline.message_ids().size(), run.messages.size())
       << "prediction/message misalignment";
@@ -241,11 +262,11 @@ BaselineSuite BuildBaselines(const TrainedSystem& system,
       std::make_unique<baselines::AguilarNer>(aguilar_cfg, options.seed * 97 + 1);
   suite.bert_ner = std::make_unique<baselines::BertNer>(options.lm_config,
                                                         options.seed * 97 + 2);
-  suite.akbik = std::make_unique<baselines::AkbikPooledNer>(system.model.get(),
-                                                            options.seed * 97 + 3);
-  suite.hire = std::make_unique<baselines::HireNer>(system.model.get(),
+  suite.akbik = std::make_unique<baselines::AkbikPooledNer>(
+      &system.bundle.model(), options.seed * 97 + 3);
+  suite.hire = std::make_unique<baselines::HireNer>(&system.bundle.model(),
                                                     options.seed * 97 + 4);
-  suite.docl = std::make_unique<baselines::DoclNer>(system.model.get());
+  suite.docl = std::make_unique<baselines::DoclNer>(&system.bundle.model());
 
   // Cache: Aguilar + BertNer + Akbik/HIRE heads in one blob.
   std::vector<ag::Var> params = suite.aguilar->Parameters();
@@ -267,8 +288,7 @@ BaselineSuite BuildBaselines(const TrainedSystem& system,
       train_gen.Generate(data::MakeDatasetSpec("TRAIN", options.scale));
   auto train_set = data::ToLabeledSentences(train_msgs);
 
-  std::array<double, kNumAux> aux{};
-  bool loaded = !cache_path.empty() && LoadParams(cache_path, &params, &aux);
+  bool loaded = !cache_path.empty() && LoadParams(cache_path, &params);
   if (!loaded) {
     suite.aguilar->Train(train_set, options.lm_epochs, 2e-3f,
                          options.seed * 97 + 5);
@@ -278,7 +298,7 @@ BaselineSuite BuildBaselines(const TrainedSystem& system,
     ft.epochs = options.lm_epochs;
     ft.seed = options.seed * 97 + 6;
     suite.bert_ner->Train(data::ToLabeledSentences(clean_msgs), ft);
-    if (!cache_path.empty()) SaveParams(cache_path, params, {});
+    if (!cache_path.empty()) SaveParams(cache_path, params);
   }
   // Head-only training for the memory baselines (fast; not cached).
   suite.akbik->Train(train_set, /*epochs=*/2, 2e-3f, options.seed * 97 + 7);

@@ -7,6 +7,7 @@
 
 #include "baselines/global_baselines.h"
 #include "baselines/local_baselines.h"
+#include "core/model_bundle.h"
 #include "core/ner_globalizer.h"
 #include "core/training.h"
 #include "data/generator.h"
@@ -15,20 +16,17 @@
 
 namespace nerglob::harness {
 
-/// Everything the experiments share: the two worlds (train/eval), the
-/// fine-tuned Local NER model, and the trained Global NER components.
+/// Everything the experiments share: the two worlds (train/eval) and the
+/// trained model bundle (Local NER encoder + Phrase Embedder + Entity
+/// Classifier + the config they were built with).
 struct TrainedSystem {
-  lm::MicroBertConfig lm_config;
   data::KnowledgeBase kb_train;  ///< procedural-only (novel-entity condition)
   data::KnowledgeBase kb_eval;   ///< core + procedural
-  std::unique_ptr<lm::MicroBert> model;
-  std::unique_ptr<core::PhraseEmbedder> embedder;
-  std::unique_ptr<core::EntityClassifier> classifier;
+  core::ModelBundle bundle;
   core::EmbedderTrainResult embedder_result;
   core::ClassifierTrainResult classifier_result;
   double fine_tune_loss = 0.0;
   size_t d5_mention_examples = 0;
-  float cluster_threshold = 0.8f;
 };
 
 /// Knobs for BuildTrainedSystem. `scale` shrinks every dataset (Table I
@@ -62,6 +60,12 @@ struct BuildOptions {
 /// collects D5 mention examples, trains the Phrase Embedder (chosen
 /// objective) and the Entity Classifier. Deterministic in `options`.
 TrainedSystem BuildTrainedSystem(const BuildOptions& options);
+
+/// Packs/unpacks the harness's provenance numbers (training losses, set
+/// sizes) into the bundle's stats vector. The order is stable so stats
+/// survive a save/load round trip of the bundle.
+std::vector<double> StatsFromSystem(const TrainedSystem& system);
+void StatsIntoSystem(const std::vector<double>& stats, TrainedSystem* system);
 
 /// The result of running one dataset through the pipeline.
 struct DatasetRun {

@@ -1,0 +1,44 @@
+#include "harness/system_loader.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nerglob::harness {
+
+std::string ParseModelFlag(int* argc, char** argv) {
+  constexpr const char kPrefix[] = "--model=";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, kPrefixLen) == 0) {
+      path = argv[i] + kPrefixLen;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+Result<TrainedSystem> LoadOrTrainSystem(const BuildOptions& options,
+                                        const std::string& model_path) {
+  if (model_path.empty()) return BuildTrainedSystem(options);
+
+  Result<core::ModelBundle> bundle = core::ModelBundle::Load(model_path);
+  if (!bundle.ok()) return bundle.status();
+  NERGLOB_LOG(kInfo) << "loaded model bundle '" << model_path
+                     << "' (fingerprint " << bundle->Fingerprint() << ")";
+  TrainedSystem system;
+  system.kb_train = data::KnowledgeBase::BuildProceduralOnly(
+      options.kb_entities_per_topic_type, options.seed * 31 + 1);
+  system.kb_eval = data::KnowledgeBase::BuildStandard(
+      options.kb_entities_per_topic_type, options.seed * 31 + 2);
+  system.bundle = std::move(bundle).value();
+  StatsIntoSystem(system.bundle.training_stats(), &system);
+  return system;
+}
+
+}  // namespace nerglob::harness

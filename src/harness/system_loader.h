@@ -1,0 +1,29 @@
+#ifndef NERGLOB_HARNESS_SYSTEM_LOADER_H_
+#define NERGLOB_HARNESS_SYSTEM_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace nerglob::harness {
+
+/// Strips a `--model=PATH` argument from argv (updating *argc) and returns
+/// the path, or "" when the flag is absent. Every example accepts the flag
+/// in any position; remaining arguments keep their relative order.
+std::string ParseModelFlag(int* argc, char** argv);
+
+/// The examples' shared train-or-load entry point.
+///
+/// With an empty `model_path` this is BuildTrainedSystem (train, or reload
+/// from the options cache). With a path it loads the `.ngb` bundle saved
+/// by `train_model` (or by a cached harness run) instead of training —
+/// the worlds are still generated from `options`, so datasets match, but
+/// the architecture comes from the file (options' architecture knobs are
+/// ignored). Corrupt or version-mismatched files return a non-OK Status.
+Result<TrainedSystem> LoadOrTrainSystem(const BuildOptions& options,
+                                        const std::string& model_path);
+
+}  // namespace nerglob::harness
+
+#endif  // NERGLOB_HARNESS_SYSTEM_LOADER_H_

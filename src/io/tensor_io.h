@@ -1,0 +1,142 @@
+#ifndef NERGLOB_IO_TENSOR_IO_H_
+#define NERGLOB_IO_TENSOR_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace nerglob::io {
+
+/// On-disk format shared by every serialized artifact in this repo
+/// (module parameter files, `.ngb` model bundles, stream checkpoints).
+///
+///   header:  8-byte magic "NGBFMT\0\1" | u32 format version | u32 endian
+///            sentinel 0x01020304 (files are little-endian; the sentinel
+///            rejects byte-swapped files instead of misreading them)
+///   records: u32 tag | u64 payload length | payload bytes |
+///            u64 FNV-1a checksum of the payload
+///
+/// Records are length-prefixed so a reader can validate sizes before
+/// allocating, and checksummed so truncation/bit-flips surface as a clean
+/// `Status` instead of garbage weights. Version policy: readers accept
+/// exactly `kFormatVersion`; any change to the header or record framing
+/// bumps it. Payload layouts are versioned by their owners (e.g. the
+/// bundle config record carries its own layout version).
+inline constexpr char kMagic[8] = {'N', 'G', 'B', 'F', 'M', 'T', '\0', '\1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kEndianSentinel = 0x01020304u;
+
+/// Record tags. Each serialized artifact is a sequence of tagged records;
+/// readers pass the tag they expect so a module file loaded as a bundle
+/// (or vice versa) fails with a clear InvalidArgument.
+enum RecordTag : uint32_t {
+  kTagModule = 1,        // one nn::Module's parameters
+  kTagBundleConfig = 2,  // ModelBundleConfig + fingerprint
+  kTagTrainingStats = 3, // harness-owned provenance doubles
+  kTagCheckpoint = 4,    // NerGlobalizer checkpoint header
+  kTagTweetBase = 5,
+  kTagCandidateBase = 6,
+  kTagTrie = 7,
+  kTagPipelineState = 8, // votes/support/cache/finalized/counters
+  kTagSession = 9,       // StreamingSession counters + finalized buffer
+  kTagBlob = 10,         // free-form (harness baseline caches, tests)
+};
+
+/// Writes one artifact file. Values are buffered into the current record
+/// with the Put* calls; `EndRecord(tag)` frames and checksums the buffer.
+/// All failures are sticky: the first error is kept and every later call
+/// is a no-op, so callers can write straight-line code and check once.
+class TensorWriter {
+ public:
+  /// Opens `path` for writing and emits the header. `format_version`
+  /// exists for tests that need to produce version-mismatched files.
+  explicit TensorWriter(const std::string& path,
+                        uint32_t format_version = kFormatVersion);
+
+  TensorWriter(const TensorWriter&) = delete;
+  TensorWriter& operator=(const TensorWriter&) = delete;
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+  void PutString(std::string_view s);   // u64 length + bytes
+  void PutMatrix(const Matrix& m);      // u64 rows | u64 cols | f32 data
+
+  /// Frames everything buffered since the last EndRecord as one record.
+  Status EndRecord(uint32_t tag);
+
+  /// Flushes and closes; returns the final status. Must be called last.
+  Status Finish();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void Append(const void* bytes, size_t n);
+
+  std::string path_;
+  std::ofstream out_;
+  std::string buf_;     // payload of the record under construction
+  Status status_;
+  bool finished_ = false;
+};
+
+/// Reads one artifact file record by record. `NextRecord(expect_tag)`
+/// loads and checksum-verifies one record; the typed Get* calls then
+/// consume its payload in order. Like the writer, errors are sticky and
+/// every message carries the path and byte offset. Readers never trust
+/// on-disk sizes: every length is validated against the remaining record
+/// (and the record against the remaining file) before any allocation.
+class TensorReader {
+ public:
+  explicit TensorReader(const std::string& path);
+
+  TensorReader(const TensorReader&) = delete;
+  TensorReader& operator=(const TensorReader&) = delete;
+
+  /// Reads the next record, verifying tag, length, and checksum.
+  Status NextRecord(uint32_t expect_tag);
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetF32(float* v);
+  bool GetF64(double* v);
+  bool GetString(std::string* s);
+  bool GetMatrix(Matrix* m);
+
+  /// True when the current record's payload is fully consumed.
+  bool AtRecordEnd() const { return cursor_ == payload_.size(); }
+
+  /// Unread bytes left in the current record. Callers sizing containers
+  /// from an on-disk count must bound it by this (every element encodes at
+  /// least one byte), so a crafted count cannot drive a huge allocation.
+  size_t RemainingInRecord() const { return payload_.size() - cursor_; }
+
+  /// Errors out (FailedPrecondition) if payload bytes remain unread —
+  /// catches layout drift between writer and reader.
+  Status ExpectRecordEnd();
+
+  const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  bool Take(void* bytes, size_t n);
+  Status Fail(Status s);  // records the sticky error and returns it
+
+  std::string path_;
+  std::ifstream in_;
+  uint64_t file_size_ = 0;
+  uint64_t file_offset_ = 0;  // offset of the next unread byte in the file
+  std::string payload_;       // current record
+  size_t cursor_ = 0;         // next unread byte within payload_
+  Status status_;
+};
+
+}  // namespace nerglob::io
+
+#endif  // NERGLOB_IO_TENSOR_IO_H_

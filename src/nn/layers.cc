@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
+#include "io/tensor_io.h"
 
 namespace nerglob::nn {
 
@@ -181,51 +183,66 @@ std::vector<ag::Var> Mlp::Parameters() const {
   return out;
 }
 
-namespace {
-constexpr uint64_t kModuleFileMagic = 0x4e45524742303031ULL;  // "NERGB001"
-}  // namespace
-
-Status SaveModuleParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  const uint64_t magic = kModuleFileMagic;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+Status SaveModule(io::TensorWriter* writer, std::string_view name,
+                  const Module& module) {
+  writer->PutString(name);
   const std::vector<ag::Var> params = module.Parameters();
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const ag::Var& p : params) WriteMatrix(out, p.value());
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  writer->PutU64(params.size());
+  for (const ag::Var& p : params) writer->PutMatrix(p.value());
+  return writer->EndRecord(io::kTagModule);
 }
 
-Status LoadModuleParameters(const std::string& path, Module* module) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  uint64_t magic = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kModuleFileMagic) {
-    return Status::InvalidArgument("not a nerglob module file: " + path);
+Status LoadModule(io::TensorReader* reader, std::string_view name,
+                  Module* module) {
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagModule));
+  std::string found;
+  uint64_t count = 0;
+  if (!reader->GetString(&found) || !reader->GetU64(&count)) {
+    return reader->status();
+  }
+  if (found != name) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': module name mismatch: expected '%s', found '%s'",
+        reader->path().c_str(), std::string(name).c_str(), found.c_str()));
   }
   std::vector<ag::Var> params = module->Parameters();
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != params.size()) {
-    return Status::InvalidArgument(
-        "parameter count mismatch (architecture changed?): " + path);
+  if (count != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': module '%s' parameter count mismatch (architecture "
+        "changed?): expected %zu, found %llu",
+        reader->path().c_str(), found.c_str(), params.size(),
+        static_cast<unsigned long long>(count)));
   }
-  std::vector<Matrix> values;
-  values.reserve(params.size());
+  // Stage every value before touching the module so a corrupt or
+  // mismatched record leaves the target untouched.
+  std::vector<Matrix> values(params.size());
   for (size_t i = 0; i < params.size(); ++i) {
-    Matrix m = ReadMatrix(in);
-    if (!in || m.rows() != params[i].rows() || m.cols() != params[i].cols()) {
-      return Status::InvalidArgument("parameter shape mismatch: " + path);
+    if (!reader->GetMatrix(&values[i])) return reader->status();
+    if (values[i].rows() != params[i].rows() ||
+        values[i].cols() != params[i].cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': module '%s' parameter %zu shape mismatch: expected "
+          "%zux%zu, found %zux%zu",
+          reader->path().c_str(), found.c_str(), i, params[i].rows(),
+          params[i].cols(), values[i].rows(), values[i].cols()));
     }
-    values.push_back(std::move(m));
   }
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].mutable_value() = std::move(values[i]);
   }
   return Status::OK();
+}
+
+Status SaveModuleParameters(const Module& module, const std::string& path) {
+  io::TensorWriter writer(path);
+  NERGLOB_RETURN_IF_ERROR(SaveModule(&writer, "module", module));
+  return writer.Finish();
+}
+
+Status LoadModuleParameters(const std::string& path, Module* module) {
+  io::TensorReader reader(path);
+  return LoadModule(&reader, "module", module);
 }
 
 std::vector<Matrix> SnapshotParameters(const std::vector<ag::Var>& params) {

@@ -2,10 +2,16 @@
 #define NERGLOB_NN_MODULE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "common/status.h"
+
+namespace nerglob::io {
+class TensorWriter;
+class TensorReader;
+}  // namespace nerglob::io
 
 namespace nerglob::nn {
 
@@ -27,9 +33,22 @@ class Module {
   }
 };
 
-/// Persists a module's parameter values to a binary file (magic + count +
-/// shaped matrices). The module's architecture is NOT stored: loading into
-/// a differently-shaped module fails with InvalidArgument.
+/// Appends a module's parameters to an open artifact as one checksummed
+/// record (io::kTagModule): name, parameter count, shaped matrices. The
+/// architecture itself is NOT stored: loading into a differently-shaped
+/// module fails with InvalidArgument. Composable — ModelBundle writes one
+/// record per sub-model into a single `.ngb` file.
+Status SaveModule(io::TensorWriter* writer, std::string_view name,
+                  const Module& module);
+
+/// Reads a record written by SaveModule. The load is two-phase: values are
+/// staged and only committed once the record (name, count, every shape,
+/// checksum) validates, so a failed load leaves `module` untouched.
+Status LoadModule(io::TensorReader* reader, std::string_view name,
+                  Module* module);
+
+/// Persists a module's parameter values as a standalone single-record
+/// file in the common artifact format (see io/tensor_io.h).
 Status SaveModuleParameters(const Module& module, const std::string& path);
 
 /// Restores parameter values saved with SaveModuleParameters. The module

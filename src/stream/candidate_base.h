@@ -7,8 +7,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/matrix.h"
 #include "text/bio.h"
+
+namespace nerglob::io {
+class TensorWriter;
+class TensorReader;
+}  // namespace nerglob::io
 
 namespace nerglob::stream {
 
@@ -98,6 +104,16 @@ class CandidateBase {
   /// Approximate heap footprint in bytes (mention embeddings dominate).
   /// O(surfaces + total mentions).
   size_t MemoryUsageBytes() const;
+
+  /// Appends the full store as one checksummed record
+  /// (io::kTagCandidateBase), surfaces in first-seen order. Pools, cluster
+  /// partitions, and the incrementally-maintained embedding sums are all
+  /// stored verbatim, so a restored base is bit-identical to the saved one.
+  Status Save(io::TensorWriter* writer) const;
+
+  /// Restores a store saved with Save; `*this` is replaced only once the
+  /// whole record validates.
+  Status Load(io::TensorReader* reader);
 
  private:
   struct SurfaceData {

@@ -1,4 +1,6 @@
 #include "common/check.h"
+#include "common/string_util.h"
+#include "io/tensor_io.h"
 #include "stream/candidate_base.h"
 #include "stream/message.h"
 #include "stream/tweet_base.h"
@@ -47,6 +49,150 @@ std::vector<int64_t> TweetBase::EvictOldest(size_t count) {
   for (int64_t id : evicted) records_.erase(id);
   order_.erase(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(count));
   return evicted;
+}
+
+namespace {
+
+void PutMessage(io::TensorWriter* w, const Message& msg) {
+  w->PutI64(msg.id);
+  w->PutString(msg.text);
+  w->PutI64(msg.topic_id);
+  w->PutU64(msg.tokens.size());
+  for (const text::Token& tok : msg.tokens) {
+    w->PutString(tok.text);
+    w->PutString(tok.lower);
+    w->PutString(tok.match);
+    w->PutU64(tok.begin);
+    w->PutU64(tok.end);
+    w->PutU32(static_cast<uint32_t>(tok.kind));
+  }
+  w->PutU64(msg.gold_spans.size());
+  for (const text::EntitySpan& span : msg.gold_spans) {
+    w->PutU64(span.begin_token);
+    w->PutU64(span.end_token);
+    w->PutU32(static_cast<uint32_t>(span.type));
+  }
+}
+
+bool GetEntityType(io::TensorReader* r, text::EntityType* type) {
+  uint32_t raw = 0;
+  if (!r->GetU32(&raw)) return false;
+  if (raw >= static_cast<uint32_t>(text::kNumEntityTypes)) {
+    // Enum range is validated even though the checksum already passed —
+    // a handcrafted file must not produce out-of-range enum values.
+    return false;
+  }
+  *type = static_cast<text::EntityType>(raw);
+  return true;
+}
+
+bool GetMessage(io::TensorReader* r, Message* msg) {
+  int64_t topic = 0;
+  uint64_t num_tokens = 0, num_spans = 0;
+  if (!r->GetI64(&msg->id) || !r->GetString(&msg->text) ||
+      !r->GetI64(&topic) || !r->GetU64(&num_tokens)) {
+    return false;
+  }
+  msg->topic_id = static_cast<int>(topic);
+  if (num_tokens > r->RemainingInRecord()) return false;
+  msg->tokens.resize(num_tokens);
+  for (text::Token& tok : msg->tokens) {
+    uint64_t begin = 0, end = 0;
+    uint32_t kind = 0;
+    if (!r->GetString(&tok.text) || !r->GetString(&tok.lower) ||
+        !r->GetString(&tok.match) || !r->GetU64(&begin) || !r->GetU64(&end) ||
+        !r->GetU32(&kind)) {
+      return false;
+    }
+    if (kind > static_cast<uint32_t>(text::TokenKind::kPunct)) return false;
+    tok.begin = begin;
+    tok.end = end;
+    tok.kind = static_cast<text::TokenKind>(kind);
+  }
+  if (!r->GetU64(&num_spans)) return false;
+  if (num_spans > r->RemainingInRecord()) return false;
+  msg->gold_spans.resize(num_spans);
+  for (text::EntitySpan& span : msg->gold_spans) {
+    uint64_t begin = 0, end = 0;
+    if (!r->GetU64(&begin) || !r->GetU64(&end) ||
+        !GetEntityType(r, &span.type)) {
+      return false;
+    }
+    span.begin_token = begin;
+    span.end_token = end;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status TweetBase::Save(io::TensorWriter* writer) const {
+  writer->PutU64(order_.size());
+  for (int64_t id : order_) {
+    const SentenceRecord& rec = records_.at(id);
+    PutMessage(writer, rec.message);
+    writer->PutMatrix(rec.token_embeddings);
+    writer->PutU64(rec.local_bio.size());
+    for (int label : rec.local_bio) {
+      writer->PutU32(static_cast<uint32_t>(label));
+    }
+    writer->PutU64(rec.mentions.size());
+    for (const DetectedMention& m : rec.mentions) {
+      writer->PutU64(m.begin_token);
+      writer->PutU64(m.end_token);
+      writer->PutU32(static_cast<uint32_t>(m.type));
+    }
+  }
+  return writer->EndRecord(io::kTagTweetBase);
+}
+
+Status TweetBase::Load(io::TensorReader* reader) {
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagTweetBase));
+  auto fail = [&](const char* what) {
+    return reader->status().ok()
+               ? Status::InvalidArgument(StrFormat(
+                     "'%s': corrupt tweet-base record (%s)",
+                     reader->path().c_str(), what))
+               : reader->status();
+  };
+  uint64_t count = 0;
+  if (!reader->GetU64(&count)) return fail("count");
+  TweetBase restored;
+  for (uint64_t i = 0; i < count; ++i) {
+    SentenceRecord rec;
+    if (!GetMessage(reader, &rec.message)) return fail("message");
+    if (!reader->GetMatrix(&rec.token_embeddings)) return fail("embeddings");
+    uint64_t n = 0;
+    if (!reader->GetU64(&n) || n > reader->RemainingInRecord()) {
+      return fail("bio count");
+    }
+    rec.local_bio.resize(n);
+    for (uint64_t k = 0; k < n; ++k) {
+      uint32_t label = 0;
+      if (!reader->GetU32(&label) ||
+          label >= static_cast<uint32_t>(text::kNumBioLabels)) {
+        return fail("bio label");
+      }
+      rec.local_bio[k] = static_cast<int>(label);
+    }
+    if (!reader->GetU64(&n) || n > reader->RemainingInRecord()) {
+      return fail("mention count");
+    }
+    rec.mentions.resize(n);
+    for (DetectedMention& m : rec.mentions) {
+      uint64_t begin = 0, end = 0;
+      if (!reader->GetU64(&begin) || !reader->GetU64(&end) ||
+          !GetEntityType(reader, &m.type)) {
+        return fail("mention");
+      }
+      m.begin_token = begin;
+      m.end_token = end;
+    }
+    restored.Put(std::move(rec));
+  }
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
+  *this = std::move(restored);
+  return Status::OK();
 }
 
 size_t TweetBase::MemoryUsageBytes() const {
@@ -199,6 +345,106 @@ void CandidateBase::RemoveSurface(const std::string& surface) {
       break;
     }
   }
+}
+
+Status CandidateBase::Save(io::TensorWriter* writer) const {
+  writer->PutU64(surface_order_.size());
+  for (const std::string& surface : surface_order_) {
+    const SurfaceData& data = by_surface_.at(surface);
+    writer->PutString(surface);
+    writer->PutU64(data.mentions.size());
+    for (const MentionRecord& m : data.mentions) {
+      writer->PutI64(m.message_id);
+      writer->PutU64(m.begin_token);
+      writer->PutU64(m.end_token);
+      writer->PutMatrix(m.local_embedding);
+    }
+    // CandidateEntry::surface always equals the pool's surface, so only
+    // the partition structure is stored.
+    writer->PutU64(data.candidates.size());
+    for (const CandidateEntry& c : data.candidates) {
+      writer->PutU64(c.mention_ids.size());
+      for (size_t id : c.mention_ids) writer->PutU64(id);
+      writer->PutU32(c.is_entity ? 1 : 0);
+      writer->PutU32(static_cast<uint32_t>(c.type));
+      writer->PutF32(c.confidence);
+    }
+    writer->PutMatrix(data.embedding_sum);
+    writer->PutU64(data.embedded_count);
+  }
+  return writer->EndRecord(io::kTagCandidateBase);
+}
+
+Status CandidateBase::Load(io::TensorReader* reader) {
+  NERGLOB_RETURN_IF_ERROR(reader->NextRecord(io::kTagCandidateBase));
+  auto fail = [&](const char* what) {
+    return reader->status().ok()
+               ? Status::InvalidArgument(StrFormat(
+                     "'%s': corrupt candidate-base record (%s)",
+                     reader->path().c_str(), what))
+               : reader->status();
+  };
+  uint64_t num_surfaces = 0;
+  if (!reader->GetU64(&num_surfaces)) return fail("surface count");
+  CandidateBase restored;
+  for (uint64_t i = 0; i < num_surfaces; ++i) {
+    std::string surface;
+    uint64_t num_mentions = 0;
+    if (!reader->GetString(&surface) || !reader->GetU64(&num_mentions) ||
+        num_mentions > reader->RemainingInRecord()) {
+      return fail("surface header");
+    }
+    SurfaceData data;
+    data.mentions.resize(num_mentions);
+    for (MentionRecord& m : data.mentions) {
+      uint64_t begin = 0, end = 0;
+      if (!reader->GetI64(&m.message_id) || !reader->GetU64(&begin) ||
+          !reader->GetU64(&end) || !reader->GetMatrix(&m.local_embedding)) {
+        return fail("mention");
+      }
+      m.begin_token = begin;
+      m.end_token = end;
+    }
+    uint64_t num_candidates = 0;
+    if (!reader->GetU64(&num_candidates) ||
+        num_candidates > reader->RemainingInRecord()) {
+      return fail("candidate count");
+    }
+    data.candidates.resize(num_candidates);
+    for (CandidateEntry& c : data.candidates) {
+      c.surface = surface;
+      uint64_t num_ids = 0;
+      if (!reader->GetU64(&num_ids) ||
+          num_ids > reader->RemainingInRecord()) {
+        return fail("mention-id count");
+      }
+      c.mention_ids.resize(num_ids);
+      for (size_t& id : c.mention_ids) {
+        uint64_t raw = 0;
+        if (!reader->GetU64(&raw) || raw >= data.mentions.size()) {
+          return fail("mention id out of range");
+        }
+        id = static_cast<size_t>(raw);
+      }
+      uint32_t is_entity = 0;
+      if (!reader->GetU32(&is_entity) || !GetEntityType(reader, &c.type) ||
+          !reader->GetF32(&c.confidence)) {
+        return fail("candidate");
+      }
+      c.is_entity = is_entity != 0;
+    }
+    uint64_t embedded_count = 0;
+    if (!reader->GetMatrix(&data.embedding_sum) ||
+        !reader->GetU64(&embedded_count)) {
+      return fail("embedding sum");
+    }
+    data.embedded_count = static_cast<size_t>(embedded_count);
+    restored.surface_order_.push_back(surface);
+    restored.by_surface_.emplace(std::move(surface), std::move(data));
+  }
+  NERGLOB_RETURN_IF_ERROR(reader->ExpectRecordEnd());
+  *this = std::move(restored);
+  return Status::OK();
 }
 
 size_t CandidateBase::MemoryUsageBytes() const {

@@ -1,8 +1,11 @@
 #include "stream/streaming_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/string_util.h"
+#include "io/tensor_io.h"
 
 namespace nerglob::stream {
 
@@ -11,6 +14,10 @@ StreamingSession::StreamingSession(const lm::MicroBert* model,
                                    const core::EntityClassifier* classifier,
                                    StreamingSessionConfig config)
     : pipeline_(model, embedder, classifier, config.pipeline) {}
+
+StreamingSession::StreamingSession(const core::ModelBundle* bundle,
+                                   StreamingSessionConfig config)
+    : pipeline_(bundle, config.pipeline) {}
 
 bool StreamingSession::Step(StreamSource* source) {
   std::vector<Message> batch = source->NextBatch();
@@ -66,6 +73,75 @@ std::vector<core::FinalizedMessage> StreamingSession::TakeFinalized() {
   std::vector<core::FinalizedMessage> out;
   out.swap(finalized_);
   return out;
+}
+
+Status StreamingSession::Checkpoint(const std::string& path) const {
+  io::TensorWriter writer(path);
+  writer.PutU64(batches_);
+  writer.PutU64(messages_);
+  writer.PutU32(flushed_ ? 1 : 0);
+  writer.PutU64(finalized_.size());
+  for (const core::FinalizedMessage& fm : finalized_) {
+    writer.PutI64(fm.message_id);
+    writer.PutU64(fm.spans.size());
+    for (const text::EntitySpan& span : fm.spans) {
+      writer.PutU64(span.begin_token);
+      writer.PutU64(span.end_token);
+      writer.PutU32(static_cast<uint32_t>(span.type));
+    }
+  }
+  NERGLOB_RETURN_IF_ERROR(writer.EndRecord(io::kTagSession));
+  NERGLOB_RETURN_IF_ERROR(pipeline_.Checkpoint(&writer));
+  return writer.Finish();
+}
+
+Status StreamingSession::Restore(const std::string& path) {
+  io::TensorReader reader(path);
+  NERGLOB_RETURN_IF_ERROR(reader.NextRecord(io::kTagSession));
+  auto fail = [&](const char* what) {
+    return reader.status().ok()
+               ? Status::InvalidArgument(
+                     StrFormat("'%s': corrupt session record (%s)",
+                               path.c_str(), what))
+               : reader.status();
+  };
+  uint64_t batches = 0, messages = 0, count = 0;
+  uint32_t flushed = 0;
+  if (!reader.GetU64(&batches) || !reader.GetU64(&messages) ||
+      !reader.GetU32(&flushed) || !reader.GetU64(&count) ||
+      count > reader.RemainingInRecord()) {
+    return fail("header");
+  }
+  std::vector<core::FinalizedMessage> finalized(count);
+  for (core::FinalizedMessage& fm : finalized) {
+    uint64_t num_spans = 0;
+    if (!reader.GetI64(&fm.message_id) || !reader.GetU64(&num_spans) ||
+        num_spans > reader.RemainingInRecord()) {
+      return fail("finalized message");
+    }
+    fm.spans.resize(num_spans);
+    for (text::EntitySpan& span : fm.spans) {
+      uint64_t begin = 0, end = 0;
+      uint32_t type = 0;
+      if (!reader.GetU64(&begin) || !reader.GetU64(&end) ||
+          !reader.GetU32(&type) ||
+          type >= static_cast<uint32_t>(text::kNumEntityTypes)) {
+        return fail("finalized span");
+      }
+      span.begin_token = begin;
+      span.end_token = end;
+      span.type = static_cast<text::EntityType>(type);
+    }
+  }
+  NERGLOB_RETURN_IF_ERROR(reader.ExpectRecordEnd());
+  // Pipeline restore is two-phase; commit the session fields only after
+  // it succeeds so a bad file leaves this session fully untouched.
+  NERGLOB_RETURN_IF_ERROR(pipeline_.Restore(&reader));
+  batches_ = static_cast<size_t>(batches);
+  messages_ = static_cast<size_t>(messages);
+  flushed_ = flushed != 0;
+  finalized_ = std::move(finalized);
+  return Status::OK();
 }
 
 }  // namespace nerglob::stream

@@ -2,8 +2,11 @@
 #define NERGLOB_STREAM_STREAMING_SESSION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "core/model_bundle.h"
 #include "core/ner_globalizer.h"
 #include "stream/message.h"
 
@@ -53,6 +56,12 @@ class StreamingSession {
                    const core::EntityClassifier* classifier,
                    StreamingSessionConfig config);
 
+  /// Borrows a trained bundle (which must outlive the session). Any
+  /// number of sessions may share one const bundle concurrently — each
+  /// owns its whole mutable state.
+  StreamingSession(const core::ModelBundle* bundle,
+                   StreamingSessionConfig config);
+
   /// Pulls and processes one batch. Returns false (doing no work) when the
   /// source is exhausted — the loop contract is simply
   /// `while (session.Step(&source)) {}`. Cost: one ProcessBatch, bounded
@@ -78,6 +87,18 @@ class StreamingSession {
   /// Moves the finalized buffer out (downstream consumers that persist
   /// checkpoints incrementally call this after every Step).
   std::vector<core::FinalizedMessage> TakeFinalized();
+
+  /// Writes the complete session state — counters, the finalized buffer,
+  /// and the pipeline's checkpoint — to `path`. A session restored from
+  /// the file continues the stream bit-identically: its finalized output
+  /// and Predictions() at every PipelineStage match an uninterrupted run.
+  Status Checkpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by Checkpoint. Two-phase at every
+  /// layer: a corrupt, truncated, or mismatched file returns non-OK and
+  /// leaves this session untouched. The session must have been built with
+  /// the same models/bundle and config as the one that checkpointed.
+  Status Restore(const std::string& path);
 
   size_t batches_processed() const { return batches_; }
   size_t messages_processed() const { return messages_; }

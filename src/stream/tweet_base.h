@@ -5,8 +5,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "stream/message.h"
 #include "tensor/matrix.h"
+
+namespace nerglob::io {
+class TensorWriter;
+class TensorReader;
+}  // namespace nerglob::io
 
 namespace nerglob::stream {
 
@@ -66,6 +72,15 @@ class TweetBase {
   /// Approximate heap footprint in bytes: token embeddings dominate; the
   /// estimate also counts message text/tokens and BIO labels. O(records).
   size_t MemoryUsageBytes() const;
+
+  /// Appends the full store as one checksummed record (io::kTagTweetBase),
+  /// records in insertion order. Part of StreamState checkpointing.
+  Status Save(io::TensorWriter* writer) const;
+
+  /// Restores a store saved with Save. Two-phase: `*this` is replaced only
+  /// once the whole record validates, so a corrupt checkpoint leaves the
+  /// store untouched.
+  Status Load(io::TensorReader* reader);
 
  private:
   std::unordered_map<int64_t, SentenceRecord> records_;

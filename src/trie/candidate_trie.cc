@@ -1,5 +1,7 @@
 #include "trie/candidate_trie.h"
 
+#include <algorithm>
+
 namespace nerglob::trie {
 
 bool CandidateTrie::Insert(const std::vector<std::string>& tokens) {
@@ -58,6 +60,31 @@ size_t CandidateTrie::MemoryUsageBytes() const {
     }
   }
   return bytes;
+}
+
+std::vector<std::vector<std::string>> CandidateTrie::Forms() const {
+  // Recursive DFS with children visited in sorted key order, so the output
+  // depends only on the registered form set.
+  struct Walker {
+    std::vector<std::string> prefix;
+    std::vector<std::vector<std::string>> out;
+    void Visit(const Node& node) {
+      if (node.terminal) out.push_back(prefix);
+      std::vector<const std::pair<const std::string, std::unique_ptr<Node>>*>
+          kids;
+      kids.reserve(node.children.size());
+      for (const auto& kv : node.children) kids.push_back(&kv);
+      std::sort(kids.begin(), kids.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      for (const auto* kv : kids) {
+        prefix.push_back(kv->first);
+        Visit(*kv->second);
+        prefix.pop_back();
+      }
+    }
+  } walker;
+  walker.Visit(root_);
+  return std::move(walker.out);
 }
 
 bool CandidateTrie::Contains(const std::vector<std::string>& tokens) const {

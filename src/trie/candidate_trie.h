@@ -53,6 +53,12 @@ class CandidateTrie {
   /// Exact membership test. Cost: O(|tokens|) hash lookups.
   bool Contains(const std::vector<std::string>& tokens) const;
 
+  /// All registered surface forms, sorted lexicographically by token
+  /// sequence (deterministic regardless of insertion/removal history).
+  /// Cost: O(nodes log fanout). Used by checkpoint serialization — an
+  /// equal form set rebuilds an equivalent trie.
+  std::vector<std::vector<std::string>> Forms() const;
+
   /// Number of registered surface forms. O(1).
   size_t size() const { return size_; }
 

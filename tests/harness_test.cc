@@ -27,7 +27,7 @@ BuildOptions TinyOptions() {
 }
 
 Matrix FirstParam(const TrainedSystem& system) {
-  return system.model->Parameters()[0].value();
+  return system.bundle.model().Parameters()[0].value();
 }
 
 TEST(HarnessTest, BuildIsDeterministic) {

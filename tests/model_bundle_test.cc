@@ -1,0 +1,199 @@
+// Tests for the model/session split: the immutable ModelBundle artifact
+// (save → load in a "fresh process" → bit-identical predictions), its
+// corruption handling, and concurrent StreamingSessions sharing one const
+// bundle — the train-once / serve-many contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_bundle.h"
+#include "core/ner_globalizer.h"
+#include "data/generator.h"
+#include "harness/experiment.h"
+#include "io/tensor_io.h"
+#include "stream/streaming_session.h"
+
+namespace nerglob {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// One small trained system shared by every test in this file (training is
+// the expensive part).
+class ModelBundleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness::BuildOptions options;
+    options.scale = 0.08;
+    options.lm_config.d_model = 32;
+    options.lm_config.num_heads = 2;
+    options.lm_config.num_layers = 1;
+    options.lm_config.subword_buckets = 1024;
+    options.max_triplets = 4000;
+    options.embedder_epochs = 15;
+    options.classifier_epochs = 40;
+    options.kb_entities_per_topic_type = 10;
+    options.cache_dir = "";  // always train fresh in tests
+    system_ = new harness::TrainedSystem(harness::BuildTrainedSystem(options));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  std::vector<stream::Message> Dataset(const std::string& name) const {
+    data::StreamGenerator gen(&system_->kb_eval);
+    return gen.Generate(data::MakeDatasetSpec(name, 0.08));
+  }
+
+  static harness::TrainedSystem* system_;
+};
+
+harness::TrainedSystem* ModelBundleTest::system_ = nullptr;
+
+constexpr core::PipelineStage kAllStages[] = {
+    core::PipelineStage::kLocalOnly, core::PipelineStage::kMentionExtraction,
+    core::PipelineStage::kLocalEmbeddings, core::PipelineStage::kFullGlobal};
+
+TEST_F(ModelBundleTest, SaveLoadPreservesPredictionsAtEveryStage) {
+  const std::string path = TempPath("bundle_roundtrip.ngb");
+  ASSERT_TRUE(system_->bundle.Save(path).ok());
+  Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Fingerprint(), system_->bundle.Fingerprint());
+
+  const auto messages = Dataset("D1");
+  core::NerGlobalizer original(&system_->bundle,
+                               core::DefaultPipelineConfig(system_->bundle));
+  core::NerGlobalizer reloaded(&loaded.value(),
+                               core::DefaultPipelineConfig(loaded.value()));
+  original.ProcessAll(messages, /*batch_size=*/40);
+  reloaded.ProcessAll(messages, /*batch_size=*/40);
+  for (core::PipelineStage stage : kAllStages) {
+    auto a = original.Predictions(stage);
+    auto b = reloaded.Predictions(stage);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "stage " << core::PipelineStageName(stage)
+                            << ", message " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, TrainingStatsSurviveRoundTrip) {
+  const std::string path = TempPath("bundle_stats.ngb");
+  system_->bundle.set_training_stats(harness::StatsFromSystem(*system_));
+  ASSERT_TRUE(system_->bundle.Save(path).ok());
+  Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->training_stats(), system_->bundle.training_stats());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, MissingFileIsCleanError) {
+  Result<core::ModelBundle> loaded =
+      core::ModelBundle::Load("/nonexistent/dir/model.ngb");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ModelBundleTest, GarbageFileIsCleanError) {
+  const std::string path = TempPath("bundle_garbage.ngb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is definitely not a model bundle";
+  }
+  Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, EveryTruncationIsCleanError) {
+  const std::string path = TempPath("bundle_truncated.ngb");
+  ASSERT_TRUE(system_->bundle.Save(path).ok());
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Sampled truncation sweep (the file is a few hundred KB; byte-by-byte
+  // would dominate test time). Every cut must produce a Status, not a
+  // crash or a partially-initialized bundle.
+  for (size_t len = 0; len < full.size();
+       len += 1 + full.size() / 257) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(len));
+    out.close();
+    Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << len << " not caught";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, WrongFormatVersionIsCleanError) {
+  const std::string path = TempPath("bundle_version.ngb");
+  {
+    io::TensorWriter writer(path, /*format_version=*/99);
+    ASSERT_TRUE(system_->bundle.Save(&writer).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  Result<core::ModelBundle> loaded = core::ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// --- Concurrent sessions over one const bundle -------------------------
+
+class ConcurrentSessions : public ModelBundleTest {};
+
+TEST_F(ConcurrentSessions, SessionsShareOneBundleAndMatchSerialRuns) {
+  const core::ModelBundle& bundle = system_->bundle;  // shared, const
+  const std::vector<std::string> datasets = {"D1", "D2", "D3"};
+
+  // Serial reference: one session per stream, run back to back.
+  std::vector<std::vector<std::vector<text::EntitySpan>>> want;
+  for (const auto& name : datasets) {
+    stream::StreamingSessionConfig config;
+    config.pipeline = core::DefaultPipelineConfig(bundle);
+    stream::StreamingSession session(&bundle, config);
+    auto messages = Dataset(name);
+    stream::StreamSource source(messages, /*batch_size=*/40);
+    session.Run(&source);
+    want.push_back(session.pipeline().Predictions());
+  }
+
+  // Concurrent: same three streams, one thread each, same shared bundle.
+  std::vector<std::vector<std::vector<text::EntitySpan>>> got(datasets.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    threads.emplace_back([&, i] {
+      stream::StreamingSessionConfig config;
+      config.pipeline = core::DefaultPipelineConfig(bundle);
+      stream::StreamingSession session(&bundle, config);
+      auto messages = Dataset(datasets[i]);
+      stream::StreamSource source(messages, /*batch_size=*/40);
+      session.Run(&source);
+      got[i] = session.pipeline().Predictions();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << datasets[i];
+    for (size_t m = 0; m < want[i].size(); ++m) {
+      EXPECT_EQ(got[i][m], want[i][m]) << datasets[i] << " message " << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nerglob

@@ -41,12 +41,10 @@ class PipelineTest : public ::testing::Test {
 
   core::NerGlobalizer MakePipeline(
       size_t window_messages = 0, bool incremental_refresh = true) const {
-    core::NerGlobalizerConfig config;
-    config.cluster_threshold = system_->cluster_threshold;
+    core::NerGlobalizerConfig config = core::DefaultPipelineConfig(system_->bundle);
     config.window_messages = window_messages;
     config.incremental_refresh = incremental_refresh;
-    return core::NerGlobalizer(system_->model.get(), system_->embedder.get(),
-                               system_->classifier.get(), config);
+    return core::NerGlobalizer(&system_->bundle, config);
   }
 
   std::vector<stream::Message> Dataset(const std::string& name,

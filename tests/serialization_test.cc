@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "core/entity_classifier.h"
+#include "io/tensor_io.h"
 #include "lm/micro_bert.h"
 #include "nn/layers.h"
 #include "text/tokenizer.h"
@@ -112,6 +115,171 @@ TEST(SerializationTest, UnwritablePathIsIoError) {
   nn::Linear m(2, 2, &rng);
   Status s = nn::SaveModuleParameters(m, "/nonexistent/dir/file.bin");
   EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// --- TensorWriter / TensorReader framing layer -------------------------
+
+Matrix SmallMatrix() {
+  Matrix m(2, 3);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = 0.25f * static_cast<float>(i) - 1.0f;
+  }
+  return m;
+}
+
+/// Writes one two-record file used by the framing tests below.
+std::string WriteSampleFile(const char* name,
+                            uint32_t version = io::kFormatVersion) {
+  const std::string path = TempPath(name);
+  io::TensorWriter writer(path, version);
+  writer.PutU32(7);
+  writer.PutU64(1ull << 40);
+  writer.PutI64(-12345);
+  writer.PutF32(1.5f);
+  writer.PutF64(-2.25);
+  writer.PutString("surface form");
+  writer.PutMatrix(SmallMatrix());
+  EXPECT_TRUE(writer.EndRecord(io::kTagBlob).ok());
+  writer.PutU32(99);
+  EXPECT_TRUE(writer.EndRecord(io::kTagTrainingStats).ok());
+  EXPECT_TRUE(writer.Finish().ok());
+  return path;
+}
+
+TEST(TensorIoTest, PrimitiveRoundTrip) {
+  const std::string path = WriteSampleFile("frames.bin");
+  io::TensorReader reader(path);
+  ASSERT_TRUE(reader.NextRecord(io::kTagBlob).ok()) << reader.status().ToString();
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string s;
+  Matrix m;
+  EXPECT_TRUE(reader.GetU32(&u32));
+  EXPECT_TRUE(reader.GetU64(&u64));
+  EXPECT_TRUE(reader.GetI64(&i64));
+  EXPECT_TRUE(reader.GetF32(&f32));
+  EXPECT_TRUE(reader.GetF64(&f64));
+  EXPECT_TRUE(reader.GetString(&s));
+  EXPECT_TRUE(reader.GetMatrix(&m));
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 1ull << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s, "surface form");
+  EXPECT_EQ(m, SmallMatrix());
+  EXPECT_TRUE(reader.ExpectRecordEnd().ok());
+  ASSERT_TRUE(reader.NextRecord(io::kTagTrainingStats).ok());
+  EXPECT_TRUE(reader.GetU32(&u32));
+  EXPECT_EQ(u32, 99u);
+  EXPECT_TRUE(reader.AtRecordEnd());
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, WrongRecordTagRejected) {
+  const std::string path = WriteSampleFile("wrong_tag.bin");
+  io::TensorReader reader(path);
+  Status s = reader.NextRecord(io::kTagModule);  // file starts with kTagBlob
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, WrongFormatVersionRejected) {
+  const std::string path = WriteSampleFile("wrong_version.bin", /*version=*/99);
+  io::TensorReader reader(path);
+  Status s = reader.NextRecord(io::kTagBlob);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, UnconsumedPayloadIsFailedPrecondition) {
+  const std::string path = WriteSampleFile("leftover.bin");
+  io::TensorReader reader(path);
+  ASSERT_TRUE(reader.NextRecord(io::kTagBlob).ok());
+  uint32_t u32 = 0;
+  EXPECT_TRUE(reader.GetU32(&u32));
+  Status s = reader.ExpectRecordEnd();  // six values still unread
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Reads the sample file to completion, returning the first failure; used
+/// by the corruption fuzz tests, which only require a clean non-OK Status.
+Status DrainSampleFile(const std::string& path) {
+  io::TensorReader reader(path);
+  for (uint32_t tag : {io::kTagBlob, io::kTagTrainingStats}) {
+    Status s = reader.NextRecord(tag);
+    if (!s.ok()) return s;
+    uint32_t u32;
+    uint64_t u64;
+    int64_t i64;
+    float f32;
+    double f64;
+    std::string str;
+    Matrix m;
+    if (tag == io::kTagBlob) {
+      reader.GetU32(&u32);
+      reader.GetU64(&u64);
+      reader.GetI64(&i64);
+      reader.GetF32(&f32);
+      reader.GetF64(&f64);
+      reader.GetString(&str);
+      reader.GetMatrix(&m);
+    } else {
+      reader.GetU32(&u32);
+    }
+    s = reader.ExpectRecordEnd();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+TEST(TensorIoTest, EveryTruncationFailsCleanly) {
+  const std::string path = WriteSampleFile("truncate_fuzz.bin");
+  const std::string full = ReadAll(path);
+  ASSERT_GT(full.size(), 24u);
+  ASSERT_TRUE(DrainSampleFile(path).ok());
+  // Cut the file at every length shorter than the original: whatever byte
+  // the cut lands on — header, length prefix, payload, checksum — the read
+  // must fail with a Status, never crash or hand back partial data.
+  for (size_t len = 0; len < full.size(); ++len) {
+    WriteAll(path, full.substr(0, len));
+    Status s = DrainSampleFile(path);
+    EXPECT_FALSE(s.ok()) << "truncation to " << len << " bytes was not caught";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, EveryFlippedPayloadByteFailsChecksum) {
+  const std::string path = WriteSampleFile("bitflip_fuzz.bin");
+  const std::string full = ReadAll(path);
+  // Flip each byte of the first record's payload (skip the 16-byte header
+  // and the 12-byte record frame); the checksum must catch every one.
+  const size_t payload_begin = 16 + 12;
+  const size_t payload_end = payload_begin + 4 + 8 + 8 + 4 + 8 + (8 + 12);
+  ASSERT_LT(payload_end, full.size());
+  for (size_t i = payload_begin; i < payload_end; ++i) {
+    std::string corrupted = full;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5a);
+    WriteAll(path, corrupted);
+    Status s = DrainSampleFile(path);
+    EXPECT_FALSE(s.ok()) << "flipped byte " << i << " was not caught";
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 // through the pipeline, with checkpointed (finalized) predictions.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
 
 #include "harness/experiment.h"
 #include "stream/streaming_session.h"
@@ -35,11 +39,9 @@ class StreamingSessionTest : public ::testing::Test {
 
   stream::StreamingSession MakeSession(size_t window_messages = 0) const {
     stream::StreamingSessionConfig config;
-    config.pipeline.cluster_threshold = system_->cluster_threshold;
+    config.pipeline = core::DefaultPipelineConfig(system_->bundle);
     config.pipeline.window_messages = window_messages;
-    return stream::StreamingSession(system_->model.get(),
-                                    system_->embedder.get(),
-                                    system_->classifier.get(), config);
+    return stream::StreamingSession(&system_->bundle, config);
   }
 
   std::vector<stream::Message> Dataset(const std::string& name) const {
@@ -84,10 +86,8 @@ TEST_F(StreamingSessionTest, UnboundedRunMatchesProcessAll) {
   auto session = MakeSession(0);
   session.Run(&source);
 
-  core::NerGlobalizerConfig config;
-  config.cluster_threshold = system_->cluster_threshold;
-  core::NerGlobalizer pipeline(system_->model.get(), system_->embedder.get(),
-                               system_->classifier.get(), config);
+  core::NerGlobalizer pipeline(&system_->bundle,
+                               core::DefaultPipelineConfig(system_->bundle));
   pipeline.ProcessAll(messages, batch);
   auto want = pipeline.Predictions(core::PipelineStage::kFullGlobal);
 
@@ -149,6 +149,103 @@ TEST_F(StreamingSessionTest, ResetSupportsMultiplePasses) {
   for (size_t i = 0; i < first.finalized().size(); ++i) {
     EXPECT_TRUE(first.finalized()[i].spans == second.finalized()[i].spans);
   }
+}
+
+TEST_F(StreamingSessionTest, CheckpointRestoreMatchesUninterruptedRun) {
+  // Run A: the whole stream, uninterrupted. Run B: half the stream, then
+  // Checkpoint to disk; a fresh session restores the file and continues.
+  // The suspended-and-resumed run must be indistinguishable from A —
+  // same finalized stream and bit-identical Predictions at every stage.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/session_checkpoint.bin";
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  const size_t batch = window / 2;
+
+  stream::StreamSource source_a(messages, batch);
+  auto uninterrupted = MakeSession(window);
+  uninterrupted.Run(&source_a);
+
+  stream::StreamSource source_b(messages, batch);
+  auto first_half = MakeSession(window);
+  const size_t half_batches = (messages.size() / batch) / 2;
+  for (size_t i = 0; i < half_batches; ++i) {
+    ASSERT_TRUE(first_half.Step(&source_b));
+  }
+  ASSERT_TRUE(first_half.Checkpoint(path).ok());
+
+  auto resumed = MakeSession(window);
+  ASSERT_TRUE(resumed.Restore(path).ok());
+  // The restored session continues exactly where the checkpoint left off.
+  EXPECT_EQ(resumed.batches_processed(), first_half.batches_processed());
+  while (resumed.Step(&source_b)) {
+  }
+  resumed.Flush();
+
+  ASSERT_EQ(resumed.finalized().size(), uninterrupted.finalized().size());
+  for (size_t i = 0; i < resumed.finalized().size(); ++i) {
+    EXPECT_EQ(resumed.finalized()[i].message_id,
+              uninterrupted.finalized()[i].message_id);
+    EXPECT_TRUE(resumed.finalized()[i].spans ==
+                uninterrupted.finalized()[i].spans)
+        << "message " << i;
+  }
+  constexpr core::PipelineStage kStages[] = {
+      core::PipelineStage::kLocalOnly, core::PipelineStage::kMentionExtraction,
+      core::PipelineStage::kLocalEmbeddings, core::PipelineStage::kFullGlobal};
+  for (core::PipelineStage stage : kStages) {
+    auto want = uninterrupted.pipeline().Predictions(stage);
+    auto got = resumed.pipeline().Predictions(stage);
+    ASSERT_EQ(got.size(), want.size()) << core::PipelineStageName(stage);
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i])
+          << core::PipelineStageName(stage) << " message " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StreamingSessionTest, RestoreRejectsCorruptCheckpoint) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/session_corrupt.bin";
+  auto messages = Dataset("D1");
+  stream::StreamSource source(messages, 32);
+  auto session = MakeSession(0);
+  ASSERT_TRUE(session.Step(&source));
+  ASSERT_TRUE(session.Checkpoint(path).ok());
+
+  // Truncate the checkpoint; Restore must fail cleanly and leave the
+  // target session fully usable.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  auto target = MakeSession(0);
+  EXPECT_FALSE(target.Restore(path).ok());
+  EXPECT_EQ(target.batches_processed(), 0u);  // untouched by the failed load
+  EXPECT_TRUE(target.Step(&source));          // still works
+  std::remove(path.c_str());
+}
+
+TEST_F(StreamingSessionTest, RestoreRejectsMismatchedWindowConfig) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/session_config.bin";
+  auto messages = Dataset("D1");
+  stream::StreamSource source(messages, 32);
+  auto session = MakeSession(64);
+  ASSERT_TRUE(session.Step(&source));
+  ASSERT_TRUE(session.Checkpoint(path).ok());
+
+  auto other_window = MakeSession(128);
+  Status s = other_window.Restore(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
 }
 
 }  // namespace
