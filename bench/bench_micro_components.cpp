@@ -10,6 +10,7 @@
 #include "core/phrase_embedder.h"
 #include "lm/micro_bert.h"
 #include "nn/crf.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 #include "text/tokenizer.h"
 #include "trie/candidate_trie.h"
@@ -140,6 +141,31 @@ void BM_GemmFusedBias(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemmFusedBias)->Arg(48)->Arg(256);
+
+// SIMD-tier sweep over the hot d=64 gemm (single thread so the kernel
+// itself is measured). Arg: 0 = forced generic, 1 = AVX2 (skipped when the
+// host or build lacks it). Compare the two rows for the dispatch speedup.
+void BM_GemmSimd(benchmark::State& state) {
+  const kern::SimdLevel level = state.range(0) == 0 ? kern::SimdLevel::kGeneric
+                                                    : kern::SimdLevel::kAvx2;
+  if (!kern::SetSimdLevel(level)) {
+    state.SkipWithError("AVX2 tier unavailable on this host/build");
+    return;
+  }
+  Rng rng(9);
+  Matrix a = Matrix::Randn(48, 64, 1.0f, &rng);
+  Matrix b = Matrix::Randn(64, 64, 1.0f, &rng);
+  SetParallelism(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  SetParallelism(0);
+  kern::ResetSimdLevel();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * 48 * 64 * 64));
+  state.SetLabel(kern::SimdLevelName(level));
+}
+BENCHMARK(BM_GemmSimd)->Arg(0)->Arg(1);
 
 // Thread-count sweep over a large parallel-eligible gemm. Arg: threads.
 void BM_GemmParallel(benchmark::State& state) {

@@ -32,6 +32,13 @@ Checks applied:
     seconds are compared (normalized) like above. ``cold_start.bundle_bytes``
     is compared un-normalized: the on-disk ``.ngb`` artifact must not grow
     past the baseline by more than ``--tolerance`` at the same scale.
+  * BENCH_kernels.json (schema ``nerglob.kernels.v1``) — ``parity_ok``
+    must be true (generic and AVX2 tiers bit-identical on the bench
+    shapes) and ``allocs.arena_allocs_per_message`` must be exactly 0
+    (the steady-state zero-allocation contract). When the fresh run's
+    host has real AVX2 (``cpu_avx2`` and ``built_with_avx2``),
+    ``gemm_d64_speedup`` must stay at or above ``--min-gemm-speedup``.
+    Per-kernel generic/avx2 seconds are compared (normalized) like above.
 
 Entries whose *baseline* raw time is below ``--min-seconds`` are skipped:
 they sit at clock-noise level and would make the gate flaky.
@@ -119,6 +126,39 @@ def streaming_timings(doc, path):
     return out
 
 
+def kernels_timings(doc, path, min_gemm_speedup):
+    """{name: seconds} for BENCH_kernels.json, after its hard gates."""
+    if doc.get("parity_ok") is not True:
+        sys.exit(f"FAIL: {path} reports parity_ok=false (tiers diverged)")
+    allocs = doc.get("allocs", {})
+    per_message = allocs.get("arena_allocs_per_message")
+    if per_message != 0:
+        sys.exit(
+            f"FAIL: {path} reports arena_allocs_per_message={per_message} "
+            "(steady-state streaming must not grow the scratch arena)"
+        )
+    if doc.get("cpu_avx2") and doc.get("built_with_avx2"):
+        speedup = float(doc.get("gemm_d64_speedup", 0.0))
+        if speedup < min_gemm_speedup:
+            sys.exit(
+                f"FAIL: {path} gemm_d64_speedup={speedup:.2f}x is below the "
+                f"{min_gemm_speedup:.2f}x floor on an AVX2-capable host"
+            )
+    # On hosts without real AVX2 the avx2 table aliases the generic one, so
+    # its timings are meaningless against an AVX2 baseline — compare only
+    # generic_seconds there (the set intersection drops the avx2 entries).
+    keys = ("generic_seconds", "avx2_seconds")
+    if not (doc.get("cpu_avx2") and doc.get("built_with_avx2")):
+        keys = ("generic_seconds",)
+    out = {}
+    for entry in doc.get("kernels", []):
+        name = entry.get("name")
+        for key in keys:
+            if name and key in entry:
+                out[f"{name}.{key}"] = float(entry[key])
+    return out
+
+
 def check_bundle_bytes(base_doc, fresh_doc, tolerance):
     """Size gate: the saved artifact must not grow past the baseline."""
     base = base_doc.get("cold_start", {}).get("bundle_bytes", 0)
@@ -153,6 +193,12 @@ def main():
         help="skip entries whose baseline raw time is below this (noise floor)",
     )
     parser.add_argument(
+        "--min-gemm-speedup",
+        type=float,
+        default=1.5,
+        help="kernels kind: minimum gemm_d64_speedup on AVX2-capable hosts",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="overwrite the baseline with the fresh snapshot and exit",
@@ -168,8 +214,11 @@ def main():
     fresh_doc = load(args.fresh)
 
     def kind(doc):
-        if str(doc.get("schema", "")).startswith("nerglob.streaming"):
+        schema = str(doc.get("schema", ""))
+        if schema.startswith("nerglob.streaming"):
             return "streaming"
+        if schema.startswith("nerglob.kernels"):
+            return "kernels"
         return "metrics" if "metrics" in doc else "parallel"
 
     if kind(base_doc) != kind(fresh_doc):
@@ -184,6 +233,9 @@ def main():
     if kind(fresh_doc) == "streaming":
         base = streaming_timings(base_doc, args.baseline)
         fresh = streaming_timings(fresh_doc, args.fresh)
+    elif kind(fresh_doc) == "kernels":
+        base = kernels_timings(base_doc, args.baseline, args.min_gemm_speedup)
+        fresh = kernels_timings(fresh_doc, args.fresh, args.min_gemm_speedup)
     elif kind(fresh_doc) == "metrics":
         base = metrics_timings(base_doc, args.baseline)
         fresh = metrics_timings(fresh_doc, args.fresh)

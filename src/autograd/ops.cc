@@ -370,8 +370,7 @@ Var SliceRows(const Var& a, size_t begin, size_t count) {
     Matrix dx(x.rows(), x.cols());
     for (size_t r = 0; r < n.grad_.rows(); ++r) {
       const float* g = n.grad_.Row(r);
-      float* d = dx.Row(begin + r);
-      for (size_t c = 0; c < x.cols(); ++c) d[c] = g[c];
+      std::copy(g, g + x.cols(), dx.Row(begin + r));
     }
     Accumulate(*n.parents_[0], dx);
   });
@@ -389,8 +388,7 @@ Var SliceCols(const Var& a, size_t begin, size_t count) {
     Matrix dx(x.rows(), x.cols());
     for (size_t r = 0; r < x.rows(); ++r) {
       const float* g = n.grad_.Row(r);
-      float* d = dx.Row(r) + begin;
-      for (size_t c = 0; c < count; ++c) d[c] = g[c];
+      std::copy(g, g + count, dx.Row(r) + begin);
     }
     Accumulate(*n.parents_[0], dx);
   });

@@ -78,6 +78,15 @@ void Gauge::Add(double delta) {
   AtomicAddDouble(&value_, delta);
 }
 
+void Gauge::SetMax(double value) {
+  if (!Enabled()) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < value &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 std::vector<double> Histogram::DefaultLatencyBounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
 }

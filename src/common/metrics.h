@@ -56,6 +56,10 @@ class Gauge {
     value_.store(value, std::memory_order_relaxed);
   }
   void Add(double delta);
+  /// Raises the gauge to `value` if it is currently lower (CAS loop, never
+  /// lowers). For high-water marks updated from many threads, e.g. the
+  /// scratch-arena reservation peak.
+  void SetMax(double value);
 
   double value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }

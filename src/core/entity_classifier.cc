@@ -25,12 +25,26 @@ ag::Var EntityClassifier::Pool(const Matrix& members) const {
 }
 
 Matrix EntityClassifier::PoolValue(const Matrix& members) const {
+  Matrix out;
+  PoolValueInto(members, &out, &common::ScratchArena::ThreadLocal());
+  return out;
+}
+
+void EntityClassifier::PoolValueInto(const Matrix& members, Matrix* out,
+                                     common::ScratchArena* scratch) const {
   NERGLOB_CHECK_GT(members.rows(), 0u);
   NERGLOB_CHECK_EQ(members.cols(), dim_);
-  if (pooling_ == PoolingMode::kMean) return MeanRows(members);
-  const Matrix scores = attention_.Apply(members);             // (m, 1)
-  const Matrix weights = SoftmaxRows(scores.Transposed());     // (1, m)
-  return MatMul(weights, members);                             // (1, dim)
+  if (pooling_ == PoolingMode::kMean) {
+    MeanRowsInto(members, 0, members.rows(), out);
+    return;
+  }
+  common::ScratchFrame frame(scratch);
+  Matrix* scores = frame.Get(members.rows(), 1);
+  attention_.ApplyInto(members, scores);                 // (m, 1), Eq. 6
+  Matrix* weights = frame.Get(1, members.rows());
+  TransposeInto(*scores, weights);
+  SoftmaxRowsInto(*weights, weights);                    // (1, m), Eq. 7
+  MatMulInto(*weights, members, out);                    // (1, dim), Eq. 8
 }
 
 ag::Var EntityClassifier::ForwardLogits(const Matrix& members) const {
@@ -51,16 +65,22 @@ EntityClassifier::Prediction EntityClassifier::Predict(
             "pipeline.classifications_total");
     classifications->Increment();
   }
-  const Matrix probs = SoftmaxRows(mlp_.Apply(PoolValue(members)));
+  common::ScratchArena& arena = common::ScratchArena::ThreadLocal();
+  common::ScratchFrame frame(&arena);
+  Matrix* pooled = frame.Get(1, dim_);
+  PoolValueInto(members, pooled, &arena);
+  Matrix* probs = frame.Get(1, static_cast<size_t>(kNumClassifierClasses));
+  mlp_.ApplyInto(*pooled, probs, &arena);
+  SoftmaxRowsInto(*probs, probs);  // logits -> probabilities in place
   Prediction pred;
   pred.cls = 0;
   for (int c = 1; c < kNumClassifierClasses; ++c) {
-    if (probs.At(0, static_cast<size_t>(c)) >
-        probs.At(0, static_cast<size_t>(pred.cls))) {
+    if (probs->At(0, static_cast<size_t>(c)) >
+        probs->At(0, static_cast<size_t>(pred.cls))) {
       pred.cls = c;
     }
   }
-  pred.confidence = probs.At(0, static_cast<size_t>(pred.cls));
+  pred.confidence = probs->At(0, static_cast<size_t>(pred.cls));
   return pred;
 }
 

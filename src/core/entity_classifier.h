@@ -72,6 +72,11 @@ class EntityClassifier : public nn::Module {
   /// autograd nodes.
   Matrix PoolValue(const Matrix& members) const;
 
+  /// PoolValue into `out` with every intermediate (attention scores,
+  /// softmax weights) in `scratch`; Predict's hot path.
+  void PoolValueInto(const Matrix& members, Matrix* out,
+                     common::ScratchArena* scratch) const;
+
   size_t dim_;
   PoolingMode pooling_;
   nn::Linear attention_;  // dim -> 1 (Eq. 6)

@@ -7,6 +7,7 @@
 #include "cluster/agglomerative.h"
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/scratch_arena.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -271,8 +272,11 @@ void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
         }
       }
       if (!f.cache_hit) {
-        f.mention.local_embedding =
-            embedder_->Embed(record->token_embeddings, span.begin, emb_end);
+        // Retained state: the embedding outlives this batch in the
+        // CandidateBase (and cache), so it owns heap storage; EmbedInto
+        // keeps every intermediate in the worker's scratch arena.
+        embedder_->EmbedInto(record->token_embeddings, span.begin, emb_end,
+                             &f.mention.local_embedding);
       }
       found[idx].push_back(std::move(f));
     }
@@ -340,13 +344,14 @@ std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
   static const trace::TraceStage kClusterStage("cluster");
   trace::TraceSpan cluster_span(kClusterStage);
   const size_t head = std::min(n, kMaxClusterPool);
-  Matrix head_embs(head, dim);
+  common::ScratchFrame frame(&common::ScratchArena::ThreadLocal());
+  Matrix* head_embs = frame.Get(head, dim);
   for (size_t i = 0; i < head; ++i) {
     std::copy(pool[i].local_embedding.Row(0),
-              pool[i].local_embedding.Row(0) + dim, head_embs.Row(i));
+              pool[i].local_embedding.Row(0) + dim, head_embs->Row(i));
   }
   cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
-      head_embs, config_.cluster_threshold);
+      *head_embs, config_.cluster_threshold);
 
   std::vector<std::vector<size_t>> members(clustering.num_clusters);
   for (size_t i = 0; i < head; ++i) {
@@ -379,13 +384,16 @@ std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
   entries.reserve(members.size());
   for (const auto& cluster_members : members) {
     if (cluster_members.empty()) continue;
-    Matrix member_embs(cluster_members.size(), dim);
+    // Inner frame so every cluster reuses one slot regardless of size.
+    common::ScratchFrame cluster_frame(frame.arena());
+    Matrix* member_embs = cluster_frame.Get(cluster_members.size(), dim);
     for (size_t j = 0; j < cluster_members.size(); ++j) {
       std::copy(pool[cluster_members[j]].local_embedding.Row(0),
                 pool[cluster_members[j]].local_embedding.Row(0) + dim,
-                member_embs.Row(j));
+                member_embs->Row(j));
     }
-    const EntityClassifier::Prediction pred = classifier_->Predict(member_embs);
+    const EntityClassifier::Prediction pred =
+        classifier_->Predict(*member_embs);
     stream::CandidateEntry entry;
     entry.surface = surface;
     entry.mention_ids = cluster_members;

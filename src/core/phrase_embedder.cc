@@ -26,6 +26,13 @@ ag::Var PhraseEmbedder::Forward(const Matrix& token_embeddings, size_t begin,
 
 Matrix PhraseEmbedder::Embed(const Matrix& token_embeddings, size_t begin,
                              size_t end) const {
+  Matrix out;
+  EmbedInto(token_embeddings, begin, end, &out);
+  return out;
+}
+
+void PhraseEmbedder::EmbedInto(const Matrix& token_embeddings, size_t begin,
+                               size_t end, Matrix* out) const {
   static const trace::TraceStage kStage("phrase_embed");
   trace::TraceSpan span(kStage);
   if (metrics::Enabled()) {
@@ -39,18 +46,21 @@ Matrix PhraseEmbedder::Embed(const Matrix& token_embeddings, size_t begin,
   NERGLOB_CHECK_EQ(token_embeddings.cols(), dim_);
   // Graph-free mirror of Forward (same ops, same accumulation order, so the
   // value is bit-identical); safe to call from ParallelFor bodies because it
-  // touches no autograd state.
-  Matrix pooled = MeanRows(token_embeddings.SliceRows(begin, end - begin));
+  // touches no autograd state and each thread owns its arena.
+  common::ScratchFrame frame(&common::ScratchArena::ThreadLocal());
+  Matrix* pooled = frame.Get(1, dim_);
+  // Pool the span rows in place — bit-identical to
+  // MeanRows(SliceRows(begin, end - begin)) without the slice copy.
+  MeanRowsInto(token_embeddings, begin, end, pooled);
   if (normalize_) {
     constexpr float kEps = 1e-8f;  // ag::L2NormalizeRows default
-    const float* row = pooled.Row(0);
+    float* o = pooled->Row(0);
     double s = 0.0;
-    for (size_t c = 0; c < dim_; ++c) s += static_cast<double>(row[c]) * row[c];
+    for (size_t c = 0; c < dim_; ++c) s += static_cast<double>(o[c]) * o[c];
     const float norm = static_cast<float>(std::sqrt(s)) + kEps;
-    float* o = pooled.Row(0);
     for (size_t c = 0; c < dim_; ++c) o[c] = o[c] / norm;
   }
-  return dense_.Apply(pooled);
+  dense_.ApplyInto(*pooled, out);
 }
 
 }  // namespace nerglob::core

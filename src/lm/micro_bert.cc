@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "nn/optimizer.h"
+#include "tensor/kernels.h"
 #include "text/tokenizer.h"
 
 namespace nerglob::lm {
@@ -72,6 +73,35 @@ ag::Var MicroBert::EmbedTokens(const std::vector<text::Token>& tokens) const {
   return x;
 }
 
+void MicroBert::EmbedTokensInto(const std::vector<text::Token>& tokens,
+                                Matrix* x) const {
+  const size_t t_len = std::min(tokens.size(), config_.max_seq_len);
+  NERGLOB_CHECK_GT(t_len, 0u);
+  const size_t d = config_.d_model;
+  x->Reshape(t_len, d);
+  const Matrix& sub = subword_table_->table_value();
+  const Matrix& pos = position_table_->table_value();
+  const Matrix& kind = kind_table_->table_value();
+  const kern::KernelTable& kt = kern::Active();
+  std::vector<int> ids;  // reused across tokens
+  std::string marked;
+  for (size_t t = 0; t < t_len; ++t) {
+    subwords_.SubwordIdsInto(LookupForm(tokens[t]), &ids, &marked);
+    float* row = x->Row(t);
+    std::fill(row, row + d, 0.0f);
+    // Mean of the gathered subword rows, accumulated in ascending id order
+    // with one trailing scale — the exact MeanRows(GatherRows(...)) value
+    // sequence, so the row matches EmbedTokens bit-for-bit.
+    for (const int id : ids) {
+      kt.add_inplace(row, sub.Row(static_cast<size_t>(id)), d);
+    }
+    kt.scale(row, 1.0f / static_cast<float>(ids.size()), d);
+    // Left-associative (mean + position) + kind, like the two ag::Adds.
+    kt.add_inplace(row, pos.Row(t), d);
+    kt.add_inplace(row, kind.Row(static_cast<size_t>(tokens[t].kind)), d);
+  }
+}
+
 MicroBert::ForwardResult MicroBert::Forward(
     const std::vector<text::Token>& tokens, bool training,
     Rng* dropout_rng) const {
@@ -94,10 +124,26 @@ EncodeResult MicroBert::Encode(const std::vector<text::Token>& tokens) const {
         metrics::MetricsRegistry::Global().GetCounter("lm.tokens_total");
     encoded_tokens->Increment(tokens.size());
   }
-  ForwardResult fwd = Forward(tokens, /*training=*/false, &dropout_rng_);
+  // Graph-free eval forward: the same op sequence as
+  // Forward(tokens, /*training=*/false, ...) — dropout is an eval no-op —
+  // with every activation in this thread's scratch arena, so steady-state
+  // encoding allocates nothing on the heap. Bit-identical to the tape
+  // values by the kernel determinism contract (DESIGN.md).
+  common::ScratchArena& arena = common::ScratchArena::ThreadLocal();
+  common::ScratchFrame frame(&arena);
+  const size_t t_len = std::min(tokens.size(), config_.max_seq_len);
+  Matrix* x = frame.Get(t_len, config_.d_model);
+  EmbedTokensInto(tokens, x);
+  Matrix* y = frame.Get(t_len, config_.d_model);
+  for (const auto& layer : layers_) {
+    layer->ApplyInto(*x, y, &arena);
+    std::swap(x, y);
+  }
   EncodeResult out;
-  out.embeddings = fwd.embeddings.value();
-  out.logits = fwd.logits.value();
+  // The final-norm output is retained state (it outlives this call in the
+  // TweetBase), so it lands in the result, not the arena.
+  final_norm_->ApplyInto(*x, &out.embeddings);
+  head_->ApplyInto(out.embeddings, &out.logits);
   const Matrix& logits = out.logits;
   out.bio_labels.resize(logits.rows(), text::kBioOutside);
   for (size_t t = 0; t < logits.rows(); ++t) {

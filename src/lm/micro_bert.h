@@ -53,9 +53,13 @@ class MicroBert : public nn::Module {
   ForwardResult Forward(const std::vector<text::Token>& tokens, bool training,
                         Rng* dropout_rng) const;
 
-  /// Eval-mode encoding with argmax labels. Thread-safe: the forward pass
-  /// only reads parameters (dropout is a no-op at eval), so concurrent
-  /// Encode calls build disjoint tapes.
+  /// Eval-mode encoding with argmax labels. Runs the graph-free path: the
+  /// same op sequence as Forward(tokens, /*training=*/false, ...) with
+  /// every intermediate in the calling thread's scratch arena, so the
+  /// outputs are bit-identical to the tape values while steady-state
+  /// streaming performs no per-message heap allocation for activations.
+  /// Thread-safe: the forward pass only reads parameters and each thread
+  /// owns its arena.
   EncodeResult Encode(const std::vector<text::Token>& tokens) const;
 
   /// Encodes many sentences, one per ParallelFor lane over the shared
@@ -72,6 +76,13 @@ class MicroBert : public nn::Module {
  private:
   /// Builds the (T, d) input embedding matrix for a token sequence.
   ag::Var EmbedTokens(const std::vector<text::Token>& tokens) const;
+
+  /// Graph-free mirror of EmbedTokens(...).value(): mean-of-subword rows,
+  /// then (+ position, + kind) left-associative per row, written into `x`
+  /// (reshaped to (min(T, max_seq_len), d_model)). Bit-identical by using
+  /// the same kernel-table add/scale entries ag's value path runs through.
+  void EmbedTokensInto(const std::vector<text::Token>& tokens,
+                       Matrix* x) const;
 
   MicroBertConfig config_;
   text::HashedSubwordVocab subwords_;

@@ -16,6 +16,13 @@ class MultiHeadSelfAttention : public Module {
 
   ag::Var Forward(const ag::Var& x) const;
 
+  /// Graph-free eval path, bit-identical to Forward(...).value(): the same
+  /// op sequence (projections, per-head scaled scores, softmax, weighted
+  /// values, concat, output projection) with every intermediate in the
+  /// caller's scratch arena. Thread-safe once training has finished.
+  void ApplyInto(const Matrix& x, Matrix* out,
+                 common::ScratchArena* scratch) const;
+
   std::vector<ag::Var> Parameters() const override;
 
   size_t num_heads() const { return num_heads_; }
@@ -39,6 +46,13 @@ class TransformerEncoderLayer : public Module {
                           float dropout, Rng* rng);
 
   ag::Var Forward(const ag::Var& x, bool training, Rng* rng) const;
+
+  /// Graph-free eval mirror of Forward(x, /*training=*/false, ...):
+  /// dropout is an eval no-op, so the residual adds, layer norms, MHA and
+  /// feed-forward reproduce the tape values bit-for-bit with all
+  /// intermediates in `scratch`.
+  void ApplyInto(const Matrix& x, Matrix* out,
+                 common::ScratchArena* scratch) const;
 
   std::vector<ag::Var> Parameters() const override;
 

@@ -38,38 +38,27 @@ const Matrix& Linear::TransposedWeight() const {
 }
 
 Matrix Linear::Apply(const Matrix& x) const {
+  Matrix out;
+  ApplyInto(x, &out);
+  return out;
+}
+
+void Linear::ApplyInto(const Matrix& x, Matrix* out) const {
   const Matrix& w = weight_.value();
   const Matrix& b = bias_.value();
   NERGLOB_CHECK_EQ(x.cols(), w.rows());
   if (metrics::Enabled()) {
     // Distinguishes graph-free inference forwards from autograd Forward()
-    // calls when tuning the dot-product vs gemm dispatch below.
+    // calls in pipeline snapshots.
     static metrics::Counter* const applies =
         metrics::MetricsRegistry::Global().GetCounter("nn.linear_apply_total");
     applies->Increment();
   }
-  const size_t m = x.rows();
-  const size_t in = w.rows();
-  const size_t out = w.cols();
-  if (m == 1 || out <= 4) {
-    // Dot-product form over contiguous W^T rows. Summation over the input
-    // dimension runs in ascending order, matching the gemm kernel's k loop,
-    // so the result is bit-identical to Forward(...).value().
-    const Matrix& wt = TransposedWeight();
-    Matrix y(m, out);
-    for (size_t r = 0; r < m; ++r) {
-      const float* xrow = x.Row(r);
-      float* yrow = y.Row(r);
-      for (size_t j = 0; j < out; ++j) {
-        const float* wrow = wt.Row(j);
-        float acc = 0.0f;
-        for (size_t p = 0; p < in; ++p) acc += xrow[p] * wrow[p];
-        yrow[j] = acc + b.At(0, j);
-      }
-    }
-    return y;
-  }
-  return MatMulAddBias(x, w, b);
+  // Single gemm path for every shape. The old m==1 dot-product special
+  // case over W^T was bit-identical to the gemm by construction but
+  // scalar-serial per output; the SIMD kernel vectorizes over the output
+  // columns, which wins even for one-row inputs.
+  MatMulAddBiasInto(x, w, b, out);
 }
 
 Embedding::Embedding(size_t vocab_size, size_t dim, Rng* rng) {
@@ -88,6 +77,18 @@ LayerNorm::LayerNorm(size_t dim) {
 
 ag::Var LayerNorm::Forward(const ag::Var& x) const {
   return ag::LayerNormRows(x, gamma_, beta_);
+}
+
+void LayerNorm::ApplyInto(const Matrix& x, Matrix* out) const {
+  // 1e-5f is the ag::LayerNormRows default; the eval mirror must match it
+  // for bit-identity with Forward(...).value().
+  LayerNormRowsInto(x, gamma_.value(), beta_.value(), /*eps=*/1e-5f, out);
+}
+
+Matrix LayerNorm::Apply(const Matrix& x) const {
+  Matrix out;
+  ApplyInto(x, &out);
+  return out;
 }
 
 BatchNorm1d::BatchNorm1d(size_t dim, float momentum, float eps)
@@ -162,17 +163,22 @@ ag::Var Mlp::Forward(const ag::Var& x) const {
 }
 
 Matrix Mlp::Apply(const Matrix& x) const {
-  Matrix h = x;
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Apply(h);
-    if (i + 1 < layers_.size()) {
-      for (size_t k = 0; k < h.size(); ++k) {
-        const float v = h.data()[k];
-        h.data()[k] = v > 0.0f ? v : 0.0f;
-      }
-    }
+  Matrix out;
+  ApplyInto(x, &out, &common::ScratchArena::ThreadLocal());
+  return out;
+}
+
+void Mlp::ApplyInto(const Matrix& x, Matrix* out,
+                    common::ScratchArena* scratch) const {
+  common::ScratchFrame frame(scratch);
+  const Matrix* cur = &x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Matrix* h = frame.Get(cur->rows(), layers_[i].weight().cols());
+    layers_[i].ApplyInto(*cur, h);
+    ReluInPlace(h);  // static-dispatch relu, same `v > 0 ? v : 0` as ag::Relu
+    cur = h;
   }
-  return h;
+  layers_.back().ApplyInto(*cur, out);
 }
 
 std::vector<ag::Var> Mlp::Parameters() const {

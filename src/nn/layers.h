@@ -11,6 +11,7 @@
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "common/rng.h"
+#include "common/scratch_arena.h"
 #include "nn/module.h"
 
 namespace nerglob::nn {
@@ -23,11 +24,15 @@ class Linear : public Module {
   /// x: (m, in) -> (m, out). Builds graph nodes (training / autograd path).
   ag::Var Forward(const ag::Var& x) const;
 
-  /// Raw inference path: same math as Forward but no graph nodes. Uses the
-  /// cached transposed weight for single-row / tiny-output inputs (dot
-  /// products over contiguous W^T rows beat the column-strided gemm there).
-  /// Safe to call concurrently from ParallelFor bodies.
+  /// Raw inference path: same math as Forward but no graph nodes (the
+  /// SIMD gemm kernel handles every shape, including single rows, so this
+  /// is bit-identical to Forward(...).value() everywhere). Safe to call
+  /// concurrently from ParallelFor bodies.
   Matrix Apply(const Matrix& x) const;
+
+  /// Apply with a caller-owned output (capacity reused; zero allocations
+  /// at steady state when `out` is a scratch-arena slot).
+  void ApplyInto(const Matrix& x, Matrix* out) const;
 
   std::vector<ag::Var> Parameters() const override { return {weight_, bias_}; }
 
@@ -66,6 +71,11 @@ class Embedding : public Module {
   size_t vocab_size() const { return table_.rows(); }
   size_t dim() const { return table_.cols(); }
 
+  /// Read-only view of the embedding table for graph-free gathers (the
+  /// eval path indexes rows directly instead of building GatherRows
+  /// nodes).
+  const Matrix& table_value() const { return table_.value(); }
+
  private:
   ag::Var table_;  // (vocab, dim)
 };
@@ -76,6 +86,11 @@ class LayerNorm : public Module {
   explicit LayerNorm(size_t dim);
 
   ag::Var Forward(const ag::Var& x) const;
+
+  /// Graph-free eval path, bit-identical to Forward(...).value() (same
+  /// double row statistics, same eps as ag::LayerNormRows).
+  void ApplyInto(const Matrix& x, Matrix* out) const;
+  Matrix Apply(const Matrix& x) const;
 
   std::vector<ag::Var> Parameters() const override { return {gamma_, beta_}; }
 
@@ -122,6 +137,11 @@ class Mlp : public Module {
   /// Raw inference path mirroring Forward (Linear::Apply + ReLU between
   /// layers, linear last); no graph nodes, thread-safe.
   Matrix Apply(const Matrix& x) const;
+
+  /// Apply with caller-owned output and explicit scratch arena for the
+  /// hidden activations (ping-pong buffers inside one ScratchFrame).
+  void ApplyInto(const Matrix& x, Matrix* out,
+                 common::ScratchArena* scratch) const;
 
   std::vector<ag::Var> Parameters() const override;
 

@@ -1,0 +1,241 @@
+// Generic (portable scalar) kernels and the runtime dispatch machinery.
+// Compiled with -ffp-contract=off (see src/tensor/CMakeLists.txt): the
+// mul+add pairs below define the reference rounding behaviour, and letting
+// a -mfma build contract them would silently change the low bits relative
+// to the AVX2 tier, breaking the bit-identical dispatch contract.
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace nerglob::kern {
+
+namespace {
+
+/// Output columns per register tile of the blocked GEMM: 16 floats = two
+/// 256-bit vectors of independent accumulators, small enough to live in
+/// registers across the whole k loop. The AVX2 tier uses the same tile so
+/// the per-element accumulation order is identical.
+constexpr size_t kGemmTile = 16;
+
+void GemmRowsGeneric(const float* a, size_t lda, const float* b, size_t ldb,
+                     const float* bias, float* out, size_t ldo,
+                     size_t row_begin, size_t row_end, size_t k, size_t n) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * lda;
+    float* orow = out + i * ldo;
+    size_t j = 0;
+    for (; j + kGemmTile <= n; j += kGemmTile) {
+      float acc[kGemmTile] = {0.0f};
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * ldb + j;
+        for (size_t t = 0; t < kGemmTile; ++t) acc[t] += av * brow[t];
+      }
+      if (bias != nullptr) {
+        for (size_t t = 0; t < kGemmTile; ++t) orow[j + t] = acc[t] + bias[j + t];
+      } else {
+        for (size_t t = 0; t < kGemmTile; ++t) orow[j + t] = acc[t];
+      }
+    }
+    if (j < n) {
+      const size_t rem = n - j;
+      float acc[kGemmTile] = {0.0f};
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * ldb + j;
+        for (size_t t = 0; t < rem; ++t) acc[t] += av * brow[t];
+      }
+      if (bias != nullptr) {
+        for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t] + bias[j + t];
+      } else {
+        for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t];
+      }
+    }
+  }
+}
+
+void AddGeneric(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void AddInPlaceGeneric(float* y, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyGeneric(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleGeneric(float* x, float alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ReluGeneric(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void SoftmaxRowGeneric(const float* in, float* out, size_t n) {
+  float mx = in[0];
+  for (size_t c = 1; c < n; ++c) mx = std::max(mx, in[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    out[c] = std::exp(in[c] - mx);
+    total += out[c];
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (size_t c = 0; c < n; ++c) out[c] *= inv;
+}
+
+void LogSoftmaxRowGeneric(const float* in, float* out, size_t n) {
+  float mx = in[0];
+  for (size_t c = 1; c < n; ++c) mx = std::max(mx, in[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) total += std::exp(in[c] - mx);
+  const float lse = mx + static_cast<float>(std::log(total));
+  for (size_t c = 0; c < n; ++c) out[c] = in[c] - lse;
+}
+
+void LayerNormRowGeneric(const float* in, const float* gamma,
+                         const float* beta, float eps, float* out, size_t n) {
+  double mean = 0.0;
+  for (size_t c = 0; c < n; ++c) mean += in[c];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    const double d = in[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const double inv_std = 1.0 / std::sqrt(var + eps);
+  for (size_t c = 0; c < n; ++c) {
+    const float xhat = static_cast<float>((in[c] - mean) * inv_std);
+    out[c] = gamma[c] * xhat + beta[c];
+  }
+}
+
+double DotF64Generic(const float* a, const float* b, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n4; i += 4) {
+    for (size_t t = 0; t < 4; ++t) {
+      lane[t] += static_cast<double>(a[i + t]) * static_cast<double>(b[i + t]);
+    }
+  }
+  double tail = 0.0;
+  for (size_t i = n4; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+const KernelTable kGenericTable = {
+    "generic",
+    SimdLevel::kGeneric,
+    &GemmRowsGeneric,
+    &AddGeneric,
+    &AddInPlaceGeneric,
+    &AxpyGeneric,
+    &ScaleGeneric,
+    &ReluGeneric,
+    &SoftmaxRowGeneric,
+    &LogSoftmaxRowGeneric,
+    &LayerNormRowGeneric,
+    &DotF64Generic,
+};
+
+/// Resolves the startup tier: explicit NERGLOB_SIMD wins, then cpuid.
+const KernelTable* ResolveFromEnvironment() {
+  const char* env = std::getenv("NERGLOB_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "generic") == 0) return &GenericKernels();
+    if (std::strcmp(env, "avx2") == 0) {
+      if (BuiltWithAvx2() && CpuSupportsAvx2()) return &Avx2Kernels();
+      NERGLOB_LOG(kWarning) << "NERGLOB_SIMD=avx2 requested but AVX2 is "
+                           << (BuiltWithAvx2() ? "not supported by this CPU"
+                                               : "not compiled in")
+                           << "; falling back to generic kernels";
+      return &GenericKernels();
+    }
+    NERGLOB_LOG(kWarning) << "unknown NERGLOB_SIMD value '" << env
+                         << "' (expected avx2|generic); using auto-detection";
+  }
+  if (BuiltWithAvx2() && CpuSupportsAvx2()) return &Avx2Kernels();
+  return &GenericKernels();
+}
+
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{nullptr};
+  return slot;
+}
+
+/// Publishes the tier as a gauge so metric snapshots record which kernels
+/// produced them (0 = generic, 1 = avx2).
+void PublishLevelMetric(const KernelTable* table) {
+  if (!metrics::Enabled()) return;
+  metrics::MetricsRegistry::Global()
+      .GetGauge("kernels.simd_level")
+      ->Set(static_cast<double>(table->level));
+}
+
+const KernelTable* ResolveAndPublish() {
+  const KernelTable* table = ResolveFromEnvironment();
+  PublishLevelMetric(table);
+  return table;
+}
+
+}  // namespace
+
+const KernelTable& GenericKernels() { return kGenericTable; }
+
+const KernelTable& Active() {
+  const KernelTable* table = ActiveSlot().load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    // First call (or first call after ResetSimdLevel). Resolution is
+    // idempotent, so a benign race just resolves twice to the same table.
+    table = ResolveAndPublish();
+    ActiveSlot().store(table, std::memory_order_relaxed);
+  }
+  return *table;
+}
+
+SimdLevel ActiveLevel() { return Active().level; }
+
+bool SetSimdLevel(SimdLevel level) {
+  const KernelTable* table = nullptr;
+  switch (level) {
+    case SimdLevel::kGeneric:
+      table = &GenericKernels();
+      break;
+    case SimdLevel::kAvx2:
+      if (!BuiltWithAvx2() || !CpuSupportsAvx2()) return false;
+      table = &Avx2Kernels();
+      break;
+  }
+  if (table == nullptr) return false;
+  ActiveSlot().store(table, std::memory_order_relaxed);
+  PublishLevelMetric(table);
+  return true;
+}
+
+void ResetSimdLevel() {
+  ActiveSlot().store(nullptr, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return "generic";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace nerglob::kern

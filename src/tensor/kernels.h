@@ -1,0 +1,117 @@
+#ifndef NERGLOB_TENSOR_KERNELS_H_
+#define NERGLOB_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace nerglob::kern {
+
+/// Instruction-set tiers the kernel layer can dispatch to. Resolved once at
+/// startup (cpuid + the NERGLOB_SIMD environment override); every tier
+/// produces bit-identical outputs, so the choice is purely a throughput
+/// knob and never an accuracy or determinism one.
+enum class SimdLevel {
+  kGeneric = 0,  ///< portable scalar kernels (compiler auto-vectorization only)
+  kAvx2 = 1,     ///< AVX2 256-bit kernels (x86-64; mul+add, no FMA contraction)
+};
+
+/// Flat function-pointer table for the hot numeric kernels. All pointers
+/// are raw float buffers (row-major with explicit leading dimensions) so
+/// the same entry points serve Matrix, arena scratch and bench callers.
+///
+/// Determinism contract (see DESIGN.md "Kernel dispatch"): for identical
+/// inputs every implementation of an entry must return bit-identical
+/// outputs. The generic kernels fix the accumulation order — per-output
+/// accumulators walked in ascending k (gemm), 4-lane-striped doubles
+/// (dot_f64), sequential double reductions (softmax/layernorm statistics)
+/// — and the SIMD kernels reproduce exactly that order with mul+add
+/// intrinsics (never FMA, whose single-rounding contraction would change
+/// the low bits). Both translation units are compiled with
+/// -ffp-contract=off so a -mfma build cannot silently re-fuse them.
+struct KernelTable {
+  /// Human-readable tier name ("generic", "avx2") for logs and metrics.
+  const char* name;
+  SimdLevel level;
+
+  /// Rows [row_begin, row_end) of out = a * b (+ bias broadcast over rows
+  /// when bias != nullptr). a is (m, k) with leading dimension lda, b is
+  /// (k, n) with ldb, out is (m, n) with ldo. Each output element is a
+  /// single float accumulator over ascending p in [0, k); the bias is
+  /// added after the full accumulation (matches the unfused pair
+  /// bit-for-bit). Row ranges compose: any partition of [0, m) produces
+  /// the same bits, which is what makes the thread-pool row split safe.
+  void (*gemm_rows)(const float* a, size_t lda, const float* b, size_t ldb,
+                    const float* bias, float* out, size_t ldo,
+                    size_t row_begin, size_t row_end, size_t k, size_t n);
+
+  /// out[i] = a[i] + b[i].
+  void (*add)(const float* a, const float* b, float* out, size_t n);
+  /// y[i] += x[i].
+  void (*add_inplace)(float* y, const float* x, size_t n);
+  /// y[i] += alpha * x[i] (mul then add, two roundings — no FMA).
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  /// x[i] *= alpha.
+  void (*scale)(float* x, float alpha, size_t n);
+  /// x[i] = x[i] > 0 ? x[i] : 0 (NaN and -0 map to +0, like the scalar
+  /// ternary — implemented as a compare mask, not maxps, whose NaN
+  /// operand rules differ).
+  void (*relu)(float* x, size_t n);
+
+  /// Row-wise softmax of one row: out may alias in. Max and the exp sum
+  /// are sequential (scalar std::exp, double accumulator) in every tier —
+  /// only the final scale vectorizes — so the bits match the historical
+  /// scalar kernel exactly, NaN inputs included.
+  void (*softmax_row)(const float* in, float* out, size_t n);
+  /// Row-wise log-softmax of one row; same sequential-reduction contract.
+  void (*logsoftmax_row)(const float* in, float* out, size_t n);
+  /// One layer-norm row: sequential double mean/variance, then the
+  /// elementwise normalize+affine (the only vectorized part):
+  ///   out[c] = gamma[c] * float((in[c] - mean) * inv_std) + beta[c].
+  void (*layernorm_row)(const float* in, const float* gamma,
+                        const float* beta, float eps, float* out, size_t n);
+
+  /// Double-precision dot product in 4-lane-striped order: lane t sums
+  /// elements with index ≡ t (mod 4) ascending, the n%4 tail accumulates
+  /// sequentially into a separate lane, and the reduction is the fixed
+  /// tree ((l0+l1)+(l2+l3))+tail. Both tiers implement exactly this.
+  double (*dot_f64)(const float* a, const float* b, size_t n);
+};
+
+/// The portable scalar table (always available).
+const KernelTable& GenericKernels();
+
+/// The AVX2 table. On non-x86 builds (or toolchains without AVX2 support)
+/// this is an alias of GenericKernels(); call CpuSupportsAvx2() before
+/// selecting it at runtime on x86.
+const KernelTable& Avx2Kernels();
+
+/// True when the running CPU reports AVX2 (always false on non-x86).
+bool CpuSupportsAvx2();
+
+/// True when Avx2Kernels() is a real AVX2 build, not the generic alias.
+bool BuiltWithAvx2();
+
+/// The active table: one relaxed atomic load, safe from any thread. First
+/// use resolves the tier: NERGLOB_SIMD=avx2|generic forces a tier
+/// (falling back to generic with a warning when avx2 is requested but
+/// unavailable); otherwise cpuid picks the best supported one.
+const KernelTable& Active();
+
+/// Tier of Active().
+SimdLevel ActiveLevel();
+
+/// Forces the dispatch tier at runtime (tests, benchmark sweeps). Returns
+/// false — leaving the tier unchanged — when the requested tier is not
+/// available on this machine/build. Mirrors SetParallelism: intended for
+/// controlled sweeps, not concurrent flipping under load.
+bool SetSimdLevel(SimdLevel level);
+
+/// Drops any SetSimdLevel override and re-resolves from the environment
+/// and cpuid (test teardown).
+void ResetSimdLevel();
+
+/// Name of a tier ("generic"/"avx2") for logs, metrics and JSON.
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace nerglob::kern
+
+#endif  // NERGLOB_TENSOR_KERNELS_H_

@@ -1,0 +1,344 @@
+// AVX2 kernel tier. This translation unit is the only one compiled with
+// -mavx2 (plus -ffp-contract=off, like the generic TU); everything here is
+// guarded so non-x86 builds degrade to the generic table.
+//
+// Bit-identity with the generic tier is a hard contract, which drives two
+// unusual choices:
+//   * No FMA intrinsics. _mm256_fmadd_ps rounds once where mul+add rounds
+//     twice, so a fused kernel would differ from the scalar reference in
+//     the low bits. Separate _mm256_mul_ps/_mm256_add_ps reproduce the
+//     scalar rounding exactly (IEEE ops are deterministic per element).
+//   * Reductions keep the generic order. The GEMM accumulates each output
+//     element independently over ascending k (lanes are just parallel
+//     elements, never partial sums of one element); dot_f64 uses the same
+//     4-lane double striping as the generic kernel; softmax/layer-norm
+//     statistics stay sequential scalar, only their elementwise tails
+//     vectorize.
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+#define NERGLOB_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define NERGLOB_HAVE_AVX2_TU 0
+#endif
+
+namespace nerglob::kern {
+
+#if NERGLOB_HAVE_AVX2_TU
+
+namespace {
+
+constexpr size_t kGemmTile = 16;  // must match the generic tile
+
+/// One row of out = a*b (+bias), columns [0, n). 16-wide main tile, then
+/// an 8-wide tile, then a scalar tail that matches the generic remainder
+/// loop element for element.
+inline void GemmRowAvx2(const float* arow, const float* b, size_t ldb,
+                        const float* bias, float* orow, size_t k, size_t n) {
+  size_t j = 0;
+  for (; j + kGemmTile <= n; j += kGemmTile) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    const float* bj = b + j;
+    for (size_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(arow[p]);
+      const float* brow = bj + p * ldb;
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(brow)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 8)));
+    }
+    if (bias != nullptr) {
+      acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(bias + j));
+      acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(bias + j + 8));
+    }
+    _mm256_storeu_ps(orow + j, acc0);
+    _mm256_storeu_ps(orow + j + 8, acc1);
+  }
+  if (j + 8 <= n) {
+    __m256 acc = _mm256_setzero_ps();
+    const float* bj = b + j;
+    for (size_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(arow[p]);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(av, _mm256_loadu_ps(bj + p * ldb)));
+    }
+    if (bias != nullptr) acc = _mm256_add_ps(acc, _mm256_loadu_ps(bias + j));
+    _mm256_storeu_ps(orow + j, acc);
+    j += 8;
+  }
+  if (j < n) {
+    const size_t rem = n - j;
+    float acc[8] = {0.0f};
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * ldb + j;
+      for (size_t t = 0; t < rem; ++t) acc[t] += av * brow[t];
+    }
+    if (bias != nullptr) {
+      for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t] + bias[j + t];
+    } else {
+      for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t];
+    }
+  }
+}
+
+/// Four rows at once over a shared B panel: 8 accumulators (4 rows x two
+/// 8-lane vectors) amortize each B load across four broadcasts, which is
+/// what pushes throughput past the single-row kernel on d=64 shapes.
+inline void Gemm4RowsAvx2(const float* a, size_t lda, size_t i, const float* b,
+                          size_t ldb, const float* bias, float* out, size_t ldo,
+                          size_t k, size_t n) {
+  const float* a0 = a + i * lda;
+  const float* a1 = a0 + lda;
+  const float* a2 = a1 + lda;
+  const float* a3 = a2 + lda;
+  float* o0 = out + i * ldo;
+  float* o1 = o0 + ldo;
+  float* o2 = o1 + ldo;
+  float* o3 = o2 + ldo;
+  size_t j = 0;
+  for (; j + kGemmTile <= n; j += kGemmTile) {
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+    __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+    const float* bj = b + j;
+    for (size_t p = 0; p < k; ++p) {
+      const float* brow = bj + p * ldb;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      __m256 av = _mm256_set1_ps(a0[p]);
+      c00 = _mm256_add_ps(c00, _mm256_mul_ps(av, b0));
+      c01 = _mm256_add_ps(c01, _mm256_mul_ps(av, b1));
+      av = _mm256_set1_ps(a1[p]);
+      c10 = _mm256_add_ps(c10, _mm256_mul_ps(av, b0));
+      c11 = _mm256_add_ps(c11, _mm256_mul_ps(av, b1));
+      av = _mm256_set1_ps(a2[p]);
+      c20 = _mm256_add_ps(c20, _mm256_mul_ps(av, b0));
+      c21 = _mm256_add_ps(c21, _mm256_mul_ps(av, b1));
+      av = _mm256_set1_ps(a3[p]);
+      c30 = _mm256_add_ps(c30, _mm256_mul_ps(av, b0));
+      c31 = _mm256_add_ps(c31, _mm256_mul_ps(av, b1));
+    }
+    if (bias != nullptr) {
+      const __m256 bb0 = _mm256_loadu_ps(bias + j);
+      const __m256 bb1 = _mm256_loadu_ps(bias + j + 8);
+      c00 = _mm256_add_ps(c00, bb0);
+      c01 = _mm256_add_ps(c01, bb1);
+      c10 = _mm256_add_ps(c10, bb0);
+      c11 = _mm256_add_ps(c11, bb1);
+      c20 = _mm256_add_ps(c20, bb0);
+      c21 = _mm256_add_ps(c21, bb1);
+      c30 = _mm256_add_ps(c30, bb0);
+      c31 = _mm256_add_ps(c31, bb1);
+    }
+    _mm256_storeu_ps(o0 + j, c00);
+    _mm256_storeu_ps(o0 + j + 8, c01);
+    _mm256_storeu_ps(o1 + j, c10);
+    _mm256_storeu_ps(o1 + j + 8, c11);
+    _mm256_storeu_ps(o2 + j, c20);
+    _mm256_storeu_ps(o2 + j + 8, c21);
+    _mm256_storeu_ps(o3 + j, c30);
+    _mm256_storeu_ps(o3 + j + 8, c31);
+  }
+  if (j < n) {
+    // Column remainder: fall back to the single-row kernel per row; its
+    // 8-wide + scalar tail matches the generic remainder order.
+    const size_t off = j;
+    const size_t rem = n - j;
+    GemmRowAvx2(a0, b + off, ldb, bias != nullptr ? bias + off : nullptr,
+                o0 + off, k, rem);
+    GemmRowAvx2(a1, b + off, ldb, bias != nullptr ? bias + off : nullptr,
+                o1 + off, k, rem);
+    GemmRowAvx2(a2, b + off, ldb, bias != nullptr ? bias + off : nullptr,
+                o2 + off, k, rem);
+    GemmRowAvx2(a3, b + off, ldb, bias != nullptr ? bias + off : nullptr,
+                o3 + off, k, rem);
+  }
+}
+
+void GemmRowsAvx2(const float* a, size_t lda, const float* b, size_t ldb,
+                  const float* bias, float* out, size_t ldo, size_t row_begin,
+                  size_t row_end, size_t k, size_t n) {
+  size_t i = row_begin;
+  for (; i + 4 <= row_end; i += 4) {
+    Gemm4RowsAvx2(a, lda, i, b, ldb, bias, out, ldo, k, n);
+  }
+  for (; i < row_end; ++i) {
+    GemmRowAvx2(a + i * lda, b, ldb, bias, out + i * ldo, k, n);
+  }
+}
+
+void AddAvx2(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void AddInPlaceAvx2(float* y, const float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i,
+                     _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(float* x, float alpha, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void ReluAvx2(float* x, size_t n) {
+  // Compare-and-mask rather than maxps: `v > 0 ? v : 0` must send NaN (and
+  // -0) to +0 exactly like the scalar ternary, and maxps' NaN operand
+  // rules differ.
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 mask = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(x + i, _mm256_and_ps(v, mask));
+  }
+  for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void SoftmaxRowAvx2(const float* in, float* out, size_t n) {
+  // Max and the exp/sum pass are sequential scalar by contract (NaN
+  // ordering and double-sum associativity); only the final elementwise
+  // scale vectorizes.
+  float mx = in[0];
+  for (size_t c = 1; c < n; ++c) mx = std::max(mx, in[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    out[c] = std::exp(in[c] - mx);
+    total += out[c];
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  ScaleAvx2(out, inv, n);
+}
+
+void LogSoftmaxRowAvx2(const float* in, float* out, size_t n) {
+  float mx = in[0];
+  for (size_t c = 1; c < n; ++c) mx = std::max(mx, in[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) total += std::exp(in[c] - mx);
+  const float lse = mx + static_cast<float>(std::log(total));
+  const __m256 vlse = _mm256_set1_ps(lse);
+  size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    _mm256_storeu_ps(out + c, _mm256_sub_ps(_mm256_loadu_ps(in + c), vlse));
+  }
+  for (; c < n; ++c) out[c] = in[c] - lse;
+}
+
+void LayerNormRowAvx2(const float* in, const float* gamma, const float* beta,
+                      float eps, float* out, size_t n) {
+  // Statistics stay sequential double (contract). The normalize+affine
+  // tail is elementwise: 4-lane double for (x - mean) * inv_std, then a
+  // float mul+add against gamma/beta — the exact scalar op sequence.
+  double mean = 0.0;
+  for (size_t c = 0; c < n; ++c) mean += in[c];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    const double d = in[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const double inv_std = 1.0 / std::sqrt(var + eps);
+  const __m256d vmean = _mm256_set1_pd(mean);
+  const __m256d vinv = _mm256_set1_pd(inv_std);
+  size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 v = _mm256_loadu_ps(in + c);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    const __m128 xlo =
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_sub_pd(lo, vmean), vinv));
+    const __m128 xhi =
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_sub_pd(hi, vmean), vinv));
+    const __m256 xhat = _mm256_set_m128(xhi, xlo);
+    const __m256 scaled = _mm256_mul_ps(_mm256_loadu_ps(gamma + c), xhat);
+    _mm256_storeu_ps(out + c,
+                     _mm256_add_ps(scaled, _mm256_loadu_ps(beta + c)));
+  }
+  for (; c < n; ++c) {
+    const float xhat = static_cast<float>((in[c] - mean) * inv_std);
+    out[c] = gamma[c] * xhat + beta[c];
+  }
+}
+
+double DotF64Avx2(const float* a, const float* b, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d va = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double tail = 0.0;
+  for (size_t i = n4; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+const KernelTable kAvx2Table = {
+    "avx2",
+    SimdLevel::kAvx2,
+    &GemmRowsAvx2,
+    &AddAvx2,
+    &AddInPlaceAvx2,
+    &AxpyAvx2,
+    &ScaleAvx2,
+    &ReluAvx2,
+    &SoftmaxRowAvx2,
+    &LogSoftmaxRowAvx2,
+    &LayerNormRowAvx2,
+    &DotF64Avx2,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() { return kAvx2Table; }
+
+bool BuiltWithAvx2() { return true; }
+
+bool CpuSupportsAvx2() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+#else  // !NERGLOB_HAVE_AVX2_TU
+
+const KernelTable& Avx2Kernels() { return GenericKernels(); }
+
+bool BuiltWithAvx2() { return false; }
+
+bool CpuSupportsAvx2() { return false; }
+
+#endif  // NERGLOB_HAVE_AVX2_TU
+
+}  // namespace nerglob::kern

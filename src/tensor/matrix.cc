@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "tensor/kernels.h"
 
 namespace nerglob {
 
@@ -44,16 +45,16 @@ void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
 void Matrix::AddInPlace(const Matrix& other) {
   NERGLOB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kern::Active().add_inplace(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::Axpy(float alpha, const Matrix& other) {
   NERGLOB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kern::Active().axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::Scale(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  kern::Active().scale(data_.data(), alpha, data_.size());
 }
 
 void Matrix::Apply(const std::function<float(float)>& fn) {
@@ -72,12 +73,32 @@ float Matrix::Sum() const {
   return static_cast<float>(acc);
 }
 
+namespace {
+
+/// Cache-blocked transpose: 32x32 tiles keep both the source rows and the
+/// destination rows resident while a tile is copied, instead of streaming
+/// the whole destination once per source row. Pure data movement — no
+/// floating-point — so blocking cannot change results.
+constexpr size_t kTransposeTile = 32;
+
+void TransposeBlocked(const float* src, size_t rows, size_t cols, float* dst) {
+  for (size_t rb = 0; rb < rows; rb += kTransposeTile) {
+    const size_t rend = std::min(rows, rb + kTransposeTile);
+    for (size_t cb = 0; cb < cols; cb += kTransposeTile) {
+      const size_t cend = std::min(cols, cb + kTransposeTile);
+      for (size_t r = rb; r < rend; ++r) {
+        const float* srow = src + r * cols;
+        for (size_t c = cb; c < cend; ++c) dst[c * rows + r] = srow[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* src = Row(r);
-    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = src[c];
-  }
+  TransposeBlocked(data_.data(), rows_, cols_, out.data());
   return out;
 }
 
@@ -107,60 +128,9 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
 
 namespace {
 
-/// Output columns per register tile of the blocked GEMM. 16 floats = two
-/// AVX2 vectors of independent accumulators; small enough to stay in
-/// registers across the whole k loop.
-constexpr size_t kGemmTile = 16;
-
 /// Minimum m*n*k before MatMul splits rows over the thread pool. Below
 /// this the dispatch overhead dominates; above it each task amortizes.
 constexpr size_t kGemmParallelFlops = size_t{1} << 21;
-
-/// Computes rows [row_begin, row_end) of out = a*b (+ bias broadcast over
-/// rows when bias != nullptr). i-k-j register-tiled: each 1 x kGemmTile
-/// output tile accumulates in registers over the full k extent, reusing the
-/// cached B panel across rows and touching each output element exactly
-/// once. No data-dependent branches (the old `av == 0` skip silently
-/// changed flop counts between sparse and dense inputs and defeated
-/// pipelining). Accumulation order over p is ascending for every element
-/// regardless of the row partition, so results are bit-for-bit identical
-/// for any thread count.
-void GemmRowRange(const Matrix& a, const Matrix& b, const float* bias,
-                  Matrix* out, size_t row_begin, size_t row_end) {
-  const size_t k = a.cols(), n = b.cols();
-  for (size_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out->Row(i);
-    size_t j = 0;
-    for (; j + kGemmTile <= n; j += kGemmTile) {
-      float acc[kGemmTile] = {0.0f};
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = b.Row(p) + j;
-        for (size_t t = 0; t < kGemmTile; ++t) acc[t] += av * brow[t];
-      }
-      if (bias != nullptr) {
-        for (size_t t = 0; t < kGemmTile; ++t) orow[j + t] = acc[t] + bias[j + t];
-      } else {
-        for (size_t t = 0; t < kGemmTile; ++t) orow[j + t] = acc[t];
-      }
-    }
-    if (j < n) {
-      const size_t rem = n - j;
-      float acc[kGemmTile] = {0.0f};
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = b.Row(p) + j;
-        for (size_t t = 0; t < rem; ++t) acc[t] += av * brow[t];
-      }
-      if (bias != nullptr) {
-        for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t] + bias[j + t];
-      } else {
-        for (size_t t = 0; t < rem; ++t) orow[j + t] = acc[t];
-      }
-    }
-  }
-}
 
 /// GEMM observability slots, resolved once. Multiply-add counts as two
 /// flops (the convention Table IV-style throughput numbers expect).
@@ -182,11 +152,18 @@ struct GemmMetrics {
   }
 };
 
-Matrix GemmImpl(const Matrix& a, const Matrix& b, const float* bias) {
+/// Shared instrumented GEMM entry: both the allocating wrappers and the
+/// *Into variants land here, so gemm.* metrics stay complete regardless of
+/// which surface a caller uses. Row panels run through the dispatched
+/// kernel table (tensor/kernels.h); the per-element ascending-k
+/// accumulation makes any row partition and any SIMD tier bit-identical.
+void GemmInto(const Matrix& a, const Matrix& b, const float* bias,
+              Matrix* out) {
   NERGLOB_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
-  Matrix out(a.rows(), b.cols());
+  out->Reshape(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   const size_t flops = m * k * n;
+  const kern::KernelTable& kt = kern::Active();
   // One relaxed flag load when disabled; the clock reads only happen when
   // metrics are on (small GEMMs run in ~1us, so an unconditional steady
   // clock read would be measurable).
@@ -194,14 +171,17 @@ Matrix GemmImpl(const Matrix& a, const Matrix& b, const float* bias) {
   MonotonicClock::time_point start;
   if (record) start = MonotonicClock::now();
   const bool parallel = m >= 2 && flops >= kGemmParallelFlops && Parallelism() > 1;
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  float* odata = out->data();
   if (parallel) {
     const size_t per_row = std::max<size_t>(k * n, 1);
     const size_t grain = std::max<size_t>(1, kGemmParallelFlops / per_row);
     ParallelForRange(0, m, grain, [&](size_t begin, size_t end) {
-      GemmRowRange(a, b, bias, &out, begin, end);
+      kt.gemm_rows(adata, k, bdata, n, bias, odata, n, begin, end, k, n);
     });
   } else {
-    GemmRowRange(a, b, bias, &out, 0, m);
+    kt.gemm_rows(adata, k, bdata, n, bias, odata, n, 0, m, k, n);
   }
   if (record) {
     const GemmMetrics& gm = GemmMetrics::Get();
@@ -211,19 +191,33 @@ Matrix GemmImpl(const Matrix& a, const Matrix& b, const float* bias) {
     gm.wall->Observe(
         std::chrono::duration<double>(MonotonicClock::now() - start).count());
   }
-  return out;
 }
 
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  return GemmImpl(a, b, /*bias=*/nullptr);
+  Matrix out;
+  GemmInto(a, b, /*bias=*/nullptr, &out);
+  return out;
 }
 
 Matrix MatMulAddBias(const Matrix& a, const Matrix& b, const Matrix& bias) {
   NERGLOB_CHECK_EQ(bias.rows(), 1u);
   NERGLOB_CHECK_EQ(bias.cols(), b.cols());
-  return GemmImpl(a, b, bias.Row(0));
+  Matrix out;
+  GemmInto(a, b, bias.Row(0), &out);
+  return out;
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GemmInto(a, b, /*bias=*/nullptr, out);
+}
+
+void MatMulAddBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias,
+                       Matrix* out) {
+  NERGLOB_CHECK_EQ(bias.rows(), 1u);
+  NERGLOB_CHECK_EQ(bias.cols(), b.cols());
+  GemmInto(a, b, bias.Row(0), out);
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
@@ -291,36 +285,33 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
 }
 
 Matrix SoftmaxRows(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* in = a.Row(r);
-    float* o = out.Row(r);
-    float mx = in[0];
-    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    double total = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] - mx);
-      total += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (size_t c = 0; c < a.cols(); ++c) o[c] *= inv;
-  }
+  Matrix out;
+  SoftmaxRowsInto(a, &out);
   return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* in = a.Row(r);
-    float* o = out.Row(r);
-    float mx = in[0];
-    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    double total = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) total += std::exp(in[c] - mx);
-    const float lse = mx + static_cast<float>(std::log(total));
-    for (size_t c = 0; c < a.cols(); ++c) o[c] = in[c] - lse;
-  }
+  Matrix out;
+  LogSoftmaxRowsInto(a, &out);
   return out;
+}
+
+void SoftmaxRowsInto(const Matrix& a, Matrix* out) {
+  const kern::KernelTable& kt = kern::Active();
+  const size_t rows = a.rows(), cols = a.cols();
+  if (out != &a) out->Reshape(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    kt.softmax_row(a.Row(r), out->Row(r), cols);
+  }
+}
+
+void LogSoftmaxRowsInto(const Matrix& a, Matrix* out) {
+  const kern::KernelTable& kt = kern::Active();
+  const size_t rows = a.rows(), cols = a.cols();
+  if (out != &a) out->Reshape(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    kt.logsoftmax_row(a.Row(r), out->Row(r), cols);
+  }
 }
 
 Matrix RowL2Norms(const Matrix& a) {
@@ -336,19 +327,21 @@ Matrix RowL2Norms(const Matrix& a) {
 
 float VecDot(const Matrix& a, const Matrix& b) {
   NERGLOB_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a.data()[i]) * b.data()[i];
-  return static_cast<float>(acc);
+  // 4-lane-striped double accumulation (see kern::KernelTable::dot_f64):
+  // the striping is part of the numeric contract, identical in every
+  // dispatch tier.
+  return static_cast<float>(kern::Active().dot_f64(a.data(), b.data(), a.size()));
 }
 
 float CosineSimilarity(const Matrix& a, const Matrix& b) {
-  const float dot = VecDot(a, b);
-  double na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) na += static_cast<double>(a.data()[i]) * a.data()[i];
-  for (size_t i = 0; i < b.size(); ++i) nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  NERGLOB_CHECK_EQ(a.size(), b.size());
+  const kern::KernelTable& kt = kern::Active();
+  const double dot = kt.dot_f64(a.data(), b.data(), a.size());
+  const double na = kt.dot_f64(a.data(), a.data(), a.size());
+  const double nb = kt.dot_f64(b.data(), b.data(), b.size());
   const double denom = std::sqrt(na) * std::sqrt(nb);
   if (denom < 1e-12) return 0.0f;
-  return static_cast<float>(dot / denom);
+  return static_cast<float>(static_cast<float>(dot) / denom);
 }
 
 float CosineDistance(const Matrix& a, const Matrix& b) {
@@ -356,14 +349,68 @@ float CosineDistance(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MeanRows(const Matrix& a) {
-  NERGLOB_CHECK_GT(a.rows(), 0u);
-  Matrix out(1, a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.Row(r);
-    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
-  }
-  out.Scale(1.0f / static_cast<float>(a.rows()));
+  Matrix out;
+  MeanRowsInto(a, 0, a.rows(), &out);
   return out;
+}
+
+void MeanRowsInto(const Matrix& a, size_t row_begin, size_t row_end,
+                  Matrix* out) {
+  NERGLOB_CHECK_LT(row_begin, row_end);
+  NERGLOB_CHECK_LE(row_end, a.rows());
+  const kern::KernelTable& kt = kern::Active();
+  const size_t cols = a.cols();
+  out->Reshape(1, cols);
+  out->Zero();
+  // Float accumulation in ascending row order, then one scale — the same
+  // order MeanRows has always used, so slicing a row range here is
+  // bit-identical to MeanRows(a.SliceRows(...)) without the copy.
+  float* acc = out->Row(0);
+  for (size_t r = row_begin; r < row_end; ++r) {
+    kt.add_inplace(acc, a.Row(r), cols);
+  }
+  kt.scale(acc, 1.0f / static_cast<float>(row_end - row_begin), cols);
+}
+
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  NERGLOB_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  out->Reshape(a.rows(), a.cols());
+  kern::Active().add(a.data(), b.data(), out->data(), a.size());
+}
+
+void LayerNormRowsInto(const Matrix& a, const Matrix& gamma,
+                       const Matrix& beta, float eps, Matrix* out) {
+  NERGLOB_CHECK_EQ(gamma.rows(), 1u);
+  NERGLOB_CHECK_EQ(gamma.cols(), a.cols());
+  NERGLOB_CHECK_EQ(beta.rows(), 1u);
+  NERGLOB_CHECK_EQ(beta.cols(), a.cols());
+  const kern::KernelTable& kt = kern::Active();
+  const size_t rows = a.rows(), cols = a.cols();
+  if (out != &a) out->Reshape(rows, cols);
+  const float* g = gamma.Row(0);
+  const float* bt = beta.Row(0);
+  for (size_t r = 0; r < rows; ++r) {
+    kt.layernorm_row(a.Row(r), g, bt, eps, out->Row(r), cols);
+  }
+}
+
+void TransposeInto(const Matrix& a, Matrix* out) {
+  NERGLOB_CHECK(out != &a) << "TransposeInto cannot alias its input";
+  out->Reshape(a.cols(), a.rows());
+  TransposeBlocked(a.data(), a.rows(), a.cols(), out->data());
+}
+
+void SliceColsInto(const Matrix& a, size_t begin, size_t count, Matrix* out) {
+  NERGLOB_CHECK_LE(begin + count, a.cols());
+  out->Reshape(a.rows(), count);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.Row(r) + begin;
+    std::copy(src, src + count, out->Row(r));
+  }
+}
+
+void ReluInPlace(Matrix* m) {
+  kern::Active().relu(m->data(), m->size());
 }
 
 Matrix VStack(const std::vector<Matrix>& parts) {

@@ -54,6 +54,20 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Re-dimensions the matrix to rows x cols, reusing the existing buffer
+  /// capacity when it suffices (no heap traffic in that case — this is
+  /// what makes scratch-arena matrices allocation-free at steady state).
+  /// Element values after a reshape are unspecified; callers are expected
+  /// to overwrite the full extent (every *Into kernel does).
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Allocated element capacity of the underlying buffer (>= size()).
+  size_t capacity() const { return data_.capacity(); }
+
   float& At(size_t r, size_t c) {
     NERGLOB_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
@@ -91,6 +105,12 @@ class Matrix {
   void Scale(float alpha);
 
   /// Elementwise map (in place).
+  ///
+  /// Deprecated on inference hot paths: the std::function indirection
+  /// defeats vectorization and inlining, so per-message kernels should use
+  /// the static-dispatch elementwise kernels instead (ReluInPlace below,
+  /// or kern::Active() directly). Retained for tests, training-time code
+  /// and one-off transforms where convenience beats throughput.
   void Apply(const std::function<float(float)>& fn);
 
   /// Frobenius norm.
@@ -172,6 +192,52 @@ Matrix VStack(const std::vector<Matrix>& parts);
 
 /// Horizontally concatenates matrices with equal row counts.
 Matrix HStack(const std::vector<Matrix>& parts);
+
+/// Out-parameter kernel variants. Each reshapes `out` via Matrix::Reshape
+/// (reusing its buffer capacity — zero heap traffic at steady state when
+/// `out` is a scratch-arena slot) and overwrites its full extent. Unless
+/// noted, `out` must not alias an input. All of them dispatch through the
+/// runtime-selected SIMD kernel table (see tensor/kernels.h) and return
+/// bit-identical results to their allocating counterparts above, for any
+/// NERGLOB_SIMD tier and any thread count.
+
+/// out = a * b.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b + bias (1 x n, broadcast over rows; added after the full k
+/// accumulation, matching the unfused pair bit-for-bit).
+void MatMulAddBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias,
+                       Matrix* out);
+
+/// out = a + b (elementwise, same shape).
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Row-wise softmax. `out == &a` is allowed (in-place).
+void SoftmaxRowsInto(const Matrix& a, Matrix* out);
+
+/// Row-wise log-softmax. `out == &a` is allowed (in-place).
+void LogSoftmaxRowsInto(const Matrix& a, Matrix* out);
+
+/// Row-wise layer norm with gain/bias (1 x n each):
+/// out_r = gamma * (a_r - mean_r) / sqrt(var_r + eps) + beta.
+/// Matches ag::LayerNormRows (double statistics) bit-for-bit.
+void LayerNormRowsInto(const Matrix& a, const Matrix& gamma,
+                       const Matrix& beta, float eps, Matrix* out);
+
+/// out = mean of rows [row_begin, row_end) of a: (1, n). Same accumulation
+/// order as MeanRows over the equivalent slice (no intermediate copy).
+void MeanRowsInto(const Matrix& a, size_t row_begin, size_t row_end,
+                  Matrix* out);
+
+/// out = a^T (blocked copy; must not alias).
+void TransposeInto(const Matrix& a, Matrix* out);
+
+/// out = columns [begin, begin+count) of a (memcpy per row).
+void SliceColsInto(const Matrix& a, size_t begin, size_t count, Matrix* out);
+
+/// m = relu(m) elementwise via the static-dispatch kernel (NaN and -0 map
+/// to +0, like ag::Relu's `x > 0 ? x : 0`).
+void ReluInPlace(Matrix* m);
 
 /// Writes/reads a matrix in a simple binary format (shape + floats).
 void WriteMatrix(std::ostream& os, const Matrix& m);

@@ -14,17 +14,30 @@ HashedSubwordVocab::HashedSubwordVocab(size_t num_buckets, int min_n, int max_n)
 
 std::vector<int> HashedSubwordVocab::SubwordIds(const std::string& word) const {
   std::vector<int> ids;
+  std::string marked;
+  SubwordIdsInto(word, &ids, &marked);
+  return ids;
+}
+
+void HashedSubwordVocab::SubwordIdsInto(const std::string& word,
+                                        std::vector<int>* ids,
+                                        std::string* marked_scratch) const {
+  ids->clear();
   // Whole-word bucket first: frequent words get a dedicated representation.
-  ids.push_back(static_cast<int>(Fnv1aHash(word) % num_buckets_));
-  const std::string marked = "<" + word + ">";
+  ids->push_back(static_cast<int>(Fnv1aHash(word) % num_buckets_));
+  std::string& marked = *marked_scratch;
+  marked.clear();
+  marked.reserve(word.size() + 2);
+  marked.push_back('<');
+  marked.append(word);
+  marked.push_back('>');
   for (int n = min_n_; n <= max_n_; ++n) {
     if (marked.size() < static_cast<size_t>(n)) break;
     for (size_t i = 0; i + n <= marked.size(); ++i) {
-      ids.push_back(static_cast<int>(
+      ids->push_back(static_cast<int>(
           Fnv1aHash(std::string_view(marked).substr(i, n)) % num_buckets_));
     }
   }
-  return ids;
 }
 
 }  // namespace nerglob::text

@@ -20,6 +20,12 @@ class HashedSubwordVocab {
   /// Bucket ids for a (lowercased) word; always non-empty, deterministic.
   std::vector<int> SubwordIds(const std::string& word) const;
 
+  /// SubwordIds into a reusable buffer (cleared first). Lets per-message
+  /// encoding reuse one id vector and one marked-word string across
+  /// tokens instead of allocating per token.
+  void SubwordIdsInto(const std::string& word, std::vector<int>* ids,
+                      std::string* marked_scratch) const;
+
   size_t num_buckets() const { return num_buckets_; }
 
  private:

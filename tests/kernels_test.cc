@@ -1,0 +1,263 @@
+// Parity suite for the SIMD kernel dispatch layer: every tier must produce
+// bit-identical outputs for identical inputs (DESIGN.md "Kernel dispatch").
+// Comparisons use memcmp, not operator==, so NaN bit patterns are compared
+// too (NaN != NaN would make EXPECT_EQ vacuously fail where the bits agree).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "tensor/kernels.h"
+
+namespace nerglob::kern {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+bool BitsEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Both tiers, or skip: parity tests are meaningful only when a real AVX2
+/// table exists and the host can run it.
+bool HaveAvx2() { return BuiltWithAvx2() && CpuSupportsAvx2(); }
+
+struct GemmShape {
+  size_t m, k, n;
+};
+
+// Odd shapes on purpose: n covers the 16-wide tile, the 8-wide tile and the
+// scalar tail (n % 8 != 0); k = 1 and m = 1 exercise degenerate loops.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 7, 1},   {3, 5, 7},    {17, 33, 19}, {48, 64, 64},
+    {5, 64, 5},  {1, 64, 64}, {2, 3, 8},    {4, 8, 16},   {3, 16, 24},
+    {1, 5, 9},   {9, 2, 31},  {16, 16, 33}, {7, 1, 40},   {4, 19, 15},
+};
+
+TEST(KernelParityTest, GemmBitIdenticalAcrossTiers) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  const KernelTable& gen = GenericKernels();
+  const KernelTable& avx = Avx2Kernels();
+  uint32_t seed = 100;
+  for (const GemmShape& s : kGemmShapes) {
+    const std::vector<float> a = RandomVec(s.m * s.k, seed++);
+    const std::vector<float> b = RandomVec(s.k * s.n, seed++);
+    const std::vector<float> bias = RandomVec(s.n, seed++);
+    for (const float* bias_ptr : {static_cast<const float*>(nullptr), bias.data()}) {
+      std::vector<float> out_gen(s.m * s.n, -1.0f);
+      std::vector<float> out_avx(s.m * s.n, -2.0f);
+      gen.gemm_rows(a.data(), s.k, b.data(), s.n, bias_ptr, out_gen.data(),
+                    s.n, 0, s.m, s.k, s.n);
+      avx.gemm_rows(a.data(), s.k, b.data(), s.n, bias_ptr, out_avx.data(),
+                    s.n, 0, s.m, s.k, s.n);
+      EXPECT_TRUE(BitsEqual(out_gen, out_avx))
+          << "gemm m=" << s.m << " k=" << s.k << " n=" << s.n
+          << " bias=" << (bias_ptr != nullptr);
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmRowRangesCompose) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  // The thread pool splits [0, m) into arbitrary row ranges; any partition
+  // must produce the same bits as one full-range call, in both tiers.
+  const size_t m = 13, k = 21, n = 27;
+  const std::vector<float> a = RandomVec(m * k, 1);
+  const std::vector<float> b = RandomVec(k * n, 2);
+  for (const KernelTable* kt : {&GenericKernels(), &Avx2Kernels()}) {
+    std::vector<float> whole(m * n), split(m * n);
+    kt->gemm_rows(a.data(), k, b.data(), n, nullptr, whole.data(), n, 0, m, k, n);
+    kt->gemm_rows(a.data(), k, b.data(), n, nullptr, split.data(), n, 0, 5, k, n);
+    kt->gemm_rows(a.data(), k, b.data(), n, nullptr, split.data(), n, 5, 6, k, n);
+    kt->gemm_rows(a.data(), k, b.data(), n, nullptr, split.data(), n, 6, m, k, n);
+    EXPECT_TRUE(BitsEqual(whole, split)) << kt->name;
+  }
+}
+
+TEST(KernelParityTest, ElementwiseBitIdenticalAcrossTiers) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  const KernelTable& gen = GenericKernels();
+  const KernelTable& avx = Avx2Kernels();
+  // Sizes straddling the 8-lane boundary: tails of every length.
+  for (size_t n : {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 100u}) {
+    const std::vector<float> x = RandomVec(n, 7 + n);
+    const std::vector<float> y = RandomVec(n, 11 + n);
+
+    std::vector<float> a1(n), a2(n);
+    gen.add(x.data(), y.data(), a1.data(), n);
+    avx.add(x.data(), y.data(), a2.data(), n);
+    EXPECT_TRUE(BitsEqual(a1, a2)) << "add n=" << n;
+
+    std::vector<float> i1 = y, i2 = y;
+    gen.add_inplace(i1.data(), x.data(), n);
+    avx.add_inplace(i2.data(), x.data(), n);
+    EXPECT_TRUE(BitsEqual(i1, i2)) << "add_inplace n=" << n;
+
+    std::vector<float> p1 = y, p2 = y;
+    gen.axpy(0.37f, x.data(), p1.data(), n);
+    avx.axpy(0.37f, x.data(), p2.data(), n);
+    EXPECT_TRUE(BitsEqual(p1, p2)) << "axpy n=" << n;
+
+    std::vector<float> s1 = x, s2 = x;
+    gen.scale(s1.data(), -1.73f, n);
+    avx.scale(s2.data(), -1.73f, n);
+    EXPECT_TRUE(BitsEqual(s1, s2)) << "scale n=" << n;
+
+    std::vector<float> r1 = x, r2 = x;
+    gen.relu(r1.data(), n);
+    avx.relu(r2.data(), n);
+    EXPECT_TRUE(BitsEqual(r1, r2)) << "relu n=" << n;
+  }
+}
+
+TEST(KernelParityTest, ReluMapsNanAndNegativeZeroToPositiveZero) {
+  // The relu contract is the scalar ternary `x > 0 ? x : 0` — NaN and -0
+  // both compare not-greater-than zero and must become +0 in every tier
+  // (maxps would keep the NaN; that is why relu is a compare mask).
+  std::vector<float> in = {std::numeric_limits<float>::quiet_NaN(), -0.0f,
+                           -1.0f, 2.0f, 0.0f,
+                           -std::numeric_limits<float>::infinity(),
+                           std::numeric_limits<float>::infinity(), 3.5f, -7.0f};
+  for (const KernelTable* kt : {&GenericKernels(), &Avx2Kernels()}) {
+    std::vector<float> x = in;
+    kt->relu(x.data(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      const float expect = in[i] > 0.0f ? in[i] : 0.0f;
+      EXPECT_EQ(std::memcmp(&x[i], &expect, sizeof(float)), 0)
+          << kt->name << " index " << i;
+      if (!(in[i] > 0.0f)) EXPECT_FALSE(std::signbit(x[i]));
+    }
+  }
+}
+
+TEST(KernelParityTest, RowKernelsBitIdenticalAcrossTiers) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  const KernelTable& gen = GenericKernels();
+  const KernelTable& avx = Avx2Kernels();
+  for (size_t n : {1u, 2u, 5u, 8u, 13u, 16u, 29u, 64u, 65u}) {
+    const std::vector<float> x = RandomVec(n, 23 + n);
+    const std::vector<float> gamma = RandomVec(n, 29 + n);
+    const std::vector<float> beta = RandomVec(n, 31 + n);
+
+    std::vector<float> s1(n), s2(n);
+    gen.softmax_row(x.data(), s1.data(), n);
+    avx.softmax_row(x.data(), s2.data(), n);
+    EXPECT_TRUE(BitsEqual(s1, s2)) << "softmax n=" << n;
+
+    std::vector<float> l1(n), l2(n);
+    gen.logsoftmax_row(x.data(), l1.data(), n);
+    avx.logsoftmax_row(x.data(), l2.data(), n);
+    EXPECT_TRUE(BitsEqual(l1, l2)) << "logsoftmax n=" << n;
+
+    std::vector<float> n1(n), n2(n);
+    gen.layernorm_row(x.data(), gamma.data(), beta.data(), 1e-5f, n1.data(), n);
+    avx.layernorm_row(x.data(), gamma.data(), beta.data(), 1e-5f, n2.data(), n);
+    EXPECT_TRUE(BitsEqual(n1, n2)) << "layernorm n=" << n;
+
+    // In-place softmax (out aliases in) must match out-of-place.
+    std::vector<float> alias = x;
+    avx.softmax_row(alias.data(), alias.data(), n);
+    EXPECT_TRUE(BitsEqual(alias, s2)) << "softmax alias n=" << n;
+  }
+}
+
+TEST(KernelParityTest, NanPropagatesIdentically) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  const KernelTable& gen = GenericKernels();
+  const KernelTable& avx = Avx2Kernels();
+  // One NaN operand per test input: the mul/add NaN payload rules are
+  // deterministic for a single NaN source, so the tiers must agree bitwise.
+  // (Two NaN operands of one op would leave payload choice to hardware.)
+  for (size_t n : {5u, 9u, 17u}) {
+    std::vector<float> x = RandomVec(n, 41 + n);
+    x[n / 2] = std::numeric_limits<float>::quiet_NaN();
+    const std::vector<float> y = RandomVec(n, 43 + n);
+
+    std::vector<float> a1(n), a2(n);
+    gen.add(x.data(), y.data(), a1.data(), n);
+    avx.add(x.data(), y.data(), a2.data(), n);
+    EXPECT_TRUE(BitsEqual(a1, a2)) << "add+NaN n=" << n;
+
+    std::vector<float> s1(n), s2(n);
+    gen.softmax_row(x.data(), s1.data(), n);
+    avx.softmax_row(x.data(), s2.data(), n);
+    EXPECT_TRUE(BitsEqual(s1, s2)) << "softmax+NaN n=" << n;
+
+    std::vector<float> l1(n), l2(n);
+    gen.layernorm_row(x.data(), y.data(), y.data(), 1e-5f, l1.data(), n);
+    avx.layernorm_row(x.data(), y.data(), y.data(), 1e-5f, l2.data(), n);
+    EXPECT_TRUE(BitsEqual(l1, l2)) << "layernorm+NaN n=" << n;
+  }
+}
+
+TEST(KernelParityTest, DotF64BitIdenticalAcrossTiers) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 tier on this host/build";
+  const KernelTable& gen = GenericKernels();
+  const KernelTable& avx = Avx2Kernels();
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u, 32u, 33u, 64u, 127u}) {
+    const std::vector<float> a = RandomVec(n, 51 + n);
+    const std::vector<float> b = RandomVec(n, 53 + n);
+    const double d1 = gen.dot_f64(a.data(), b.data(), n);
+    const double d2 = avx.dot_f64(a.data(), b.data(), n);
+    EXPECT_EQ(std::memcmp(&d1, &d2, sizeof(double)), 0) << "dot n=" << n;
+  }
+}
+
+class SimdDispatchTest : public ::testing::Test {
+ protected:
+  ~SimdDispatchTest() override { ResetSimdLevel(); }
+};
+
+TEST_F(SimdDispatchTest, SetSimdLevelForcesTier) {
+  ASSERT_TRUE(SetSimdLevel(SimdLevel::kGeneric));
+  EXPECT_EQ(ActiveLevel(), SimdLevel::kGeneric);
+  EXPECT_EQ(&Active(), &GenericKernels());
+  if (HaveAvx2()) {
+    ASSERT_TRUE(SetSimdLevel(SimdLevel::kAvx2));
+    EXPECT_EQ(ActiveLevel(), SimdLevel::kAvx2);
+    EXPECT_EQ(&Active(), &Avx2Kernels());
+  } else {
+    // Unavailable tiers are refused and leave the dispatch unchanged.
+    EXPECT_FALSE(SetSimdLevel(SimdLevel::kAvx2));
+    EXPECT_EQ(ActiveLevel(), SimdLevel::kGeneric);
+  }
+}
+
+TEST_F(SimdDispatchTest, ResetReresolvesFromEnvironment) {
+  // Force the tier the environment would NOT pick, then check Reset
+  // restores the environment's choice: NERGLOB_SIMD when set (the
+  // forced-generic CI leg runs this suite with NERGLOB_SIMD=generic),
+  // otherwise the best cpuid-supported tier.
+  const char* env = std::getenv("NERGLOB_SIMD");
+  SimdLevel expect = HaveAvx2() ? SimdLevel::kAvx2 : SimdLevel::kGeneric;
+  if (env != nullptr && std::string_view(env) == "generic") {
+    expect = SimdLevel::kGeneric;
+  }
+  ASSERT_TRUE(SetSimdLevel(SimdLevel::kGeneric));
+  if (expect == SimdLevel::kGeneric && HaveAvx2()) {
+    ASSERT_TRUE(SetSimdLevel(SimdLevel::kAvx2));
+  }
+  ResetSimdLevel();
+  EXPECT_EQ(ActiveLevel(), expect);
+}
+
+TEST_F(SimdDispatchTest, LevelNames) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kGeneric), "generic");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(GenericKernels().name, "generic");
+}
+
+}  // namespace
+}  // namespace nerglob::kern

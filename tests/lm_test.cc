@@ -33,6 +33,39 @@ TEST(MicroBertTest, EncodeShapes) {
   EXPECT_EQ(result.bio_labels.size(), 4u);
 }
 
+TEST(MicroBertTest, EncodeMatchesTapeForwardBitForBit) {
+  // Encode runs the graph-free arena path; its outputs must equal the
+  // autograd eval forward exactly (the kernel determinism contract plus
+  // op-for-op mirroring; see DESIGN.md).
+  MicroBert model(TinyConfig(), 11);
+  for (const char* s : {"italy reports new cases", "x",
+                        "the quick brown fox jumps over the lazy dog twice "
+                        "and keeps running far beyond the window"}) {
+    auto tokens = Toks(s);
+    EncodeResult fast = model.Encode(tokens);
+    Rng unused(0);
+    auto tape = model.Forward(tokens, /*training=*/false, &unused);
+    EXPECT_EQ(fast.embeddings, tape.embeddings.value()) << s;
+    EXPECT_EQ(fast.logits, tape.logits.value()) << s;
+  }
+}
+
+TEST(MicroBertTest, EncodeIsAllocationFreeOnceWarm) {
+  // Steady-state contract: after one encode of the peak shape, repeat
+  // encodes of same-or-smaller sentences never grow the thread's arena.
+  MicroBert model(TinyConfig(), 12);
+  auto long_tokens = Toks("one two three four five six seven eight nine ten");
+  auto short_tokens = Toks("short sentence here");
+  model.Encode(long_tokens);  // warm-up at peak shape
+  common::ScratchArena& arena = common::ScratchArena::ThreadLocal();
+  const uint64_t warm = arena.heap_allocs();
+  for (int i = 0; i < 5; ++i) {
+    model.Encode(long_tokens);
+    model.Encode(short_tokens);
+  }
+  EXPECT_EQ(arena.heap_allocs(), warm);
+}
+
 TEST(MicroBertTest, EncodeIsDeterministic) {
   MicroBert model(TinyConfig(), 2);
   auto tokens = Toks("the coronavirus is spreading");

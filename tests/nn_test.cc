@@ -33,13 +33,60 @@ TEST(LinearTest, ShapesAndGradients) {
 TEST(LinearTest, ApplyMatchesForwardBitForBit) {
   Rng rng(7);
   Linear lin(16, 8, &rng);
-  // Multi-row input -> fused gemm path; single row -> cached-transpose dot
-  // path. Both must reproduce the autograd value exactly.
+  // One SIMD gemm path for every shape (the single-row dot special case is
+  // gone); both batch and row inputs must reproduce the autograd value
+  // exactly.
   Matrix batch = Matrix::Randn(5, 16, 1.0f, &rng);
   EXPECT_EQ(lin.Apply(batch),
             lin.Forward(ag::Constant(batch)).value());
   Matrix row = Matrix::Randn(1, 16, 1.0f, &rng);
   EXPECT_EQ(lin.Apply(row), lin.Forward(ag::Constant(row)).value());
+}
+
+TEST(LayerNormTest, ApplyMatchesForwardBitForBit) {
+  Rng rng(21);
+  LayerNorm ln(12);
+  // Non-trivial affine parameters so the test covers gamma/beta too.
+  ln.Parameters()[0].mutable_value() = Matrix::Randn(1, 12, 1.0f, &rng);
+  ln.Parameters()[1].mutable_value() = Matrix::Randn(1, 12, 0.5f, &rng);
+  Matrix x = Matrix::Randn(5, 12, 2.0f, &rng);
+  EXPECT_EQ(ln.Apply(x), ln.Forward(ag::Constant(x)).value());
+}
+
+TEST(AttentionTest, ApplyIntoMatchesForwardBitForBit) {
+  Rng rng(22);
+  MultiHeadSelfAttention mha(16, 4, &rng);
+  Matrix x = Matrix::Randn(7, 16, 1.0f, &rng);
+  Matrix out;
+  mha.ApplyInto(x, &out, &common::ScratchArena::ThreadLocal());
+  EXPECT_EQ(out, mha.Forward(ag::Constant(x)).value());
+}
+
+TEST(AttentionTest, EncoderLayerApplyIntoMatchesEvalForwardBitForBit) {
+  Rng rng(23);
+  TransformerEncoderLayer layer(16, 2, /*ff_mult=*/2, /*dropout=*/0.3f, &rng);
+  Matrix x = Matrix::Randn(6, 16, 1.0f, &rng);
+  Matrix out;
+  layer.ApplyInto(x, &out, &common::ScratchArena::ThreadLocal());
+  // Dropout is an eval no-op, so the graph-free path must match the
+  // training=false tape exactly even with a non-zero dropout rate.
+  Rng unused(0);
+  EXPECT_EQ(out,
+            layer.Forward(ag::Constant(x), /*training=*/false, &unused).value());
+}
+
+TEST(MlpTest, ApplyIntoIsAllocationFreeOnceWarm) {
+  Rng rng(24);
+  Mlp mlp({8, 16, 16, 4}, &rng);
+  Matrix x = Matrix::Randn(3, 8, 1.0f, &rng);
+  common::ScratchArena arena;
+  Matrix out;
+  mlp.ApplyInto(x, &out, &arena);  // warm-up: slots + output grow
+  out.Reshape(3, 4);
+  const uint64_t warm = arena.heap_allocs();
+  for (int i = 0; i < 5; ++i) mlp.ApplyInto(x, &out, &arena);
+  EXPECT_EQ(arena.heap_allocs(), warm);
+  EXPECT_EQ(arena.depth(), 0u);  // every frame restored its mark
 }
 
 TEST(LinearTest, TransposedWeightCacheInvalidatesOnParameterUpdate) {

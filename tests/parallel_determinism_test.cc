@@ -1,9 +1,10 @@
 // Determinism contract of the parallel inference engine: the full pipeline
 // must produce bit-identical state and predictions for any NERGLOB_THREADS
-// setting (ISSUE: "deterministic ordered result merging"). Components are
-// random-init (no training) — determinism is a property of the execution
-// engine, not of model quality, and untrained weights still produce a rich
-// mix of spans, mentions and clusters to compare.
+// setting AND any NERGLOB_SIMD kernel tier (ISSUE: "deterministic ordered
+// result merging" + the kernel determinism contract in DESIGN.md).
+// Components are random-init (no training) — determinism is a property of
+// the execution engine, not of model quality, and untrained weights still
+// produce a rich mix of spans, mentions and clusters to compare.
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
@@ -11,6 +12,7 @@
 #include "data/generator.h"
 #include "data/knowledge_base.h"
 #include "lm/micro_bert.h"
+#include "tensor/kernels.h"
 
 namespace nerglob {
 namespace {
@@ -62,7 +64,10 @@ class ParallelDeterminismTest : public ::testing::Test {
     embedder_ = nullptr;
     model_ = nullptr;
   }
-  ~ParallelDeterminismTest() override { SetParallelism(0); }
+  ~ParallelDeterminismTest() override {
+    SetParallelism(0);
+    kern::ResetSimdLevel();
+  }
 
   static PipelineResult RunWithThreads(size_t threads, size_t batch_size) {
     SetParallelism(threads);
@@ -122,6 +127,38 @@ TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
   PipelineResult first = RunWithThreads(8, 32);
   PipelineResult second = RunWithThreads(8, 32);
   EXPECT_TRUE(SpansEqual(first.global, second.global));
+}
+
+TEST_F(ParallelDeterminismTest, SimdTierTimesThreadCountBitIdentical) {
+  // The kernel tier is a throughput knob, never a results knob: every
+  // (NERGLOB_SIMD, NERGLOB_THREADS) combination must produce the same
+  // bits. Skipped (generic-only sweep) where no AVX2 tier exists.
+  ASSERT_TRUE(kern::SetSimdLevel(kern::SimdLevel::kGeneric));
+  const PipelineResult reference = RunWithThreads(1, 32);
+  const bool have_avx2 = kern::BuiltWithAvx2() && kern::CpuSupportsAvx2();
+  const std::vector<kern::SimdLevel> tiers =
+      have_avx2
+          ? std::vector<kern::SimdLevel>{kern::SimdLevel::kGeneric,
+                                         kern::SimdLevel::kAvx2}
+          : std::vector<kern::SimdLevel>{kern::SimdLevel::kGeneric};
+  for (const kern::SimdLevel tier : tiers) {
+    ASSERT_TRUE(kern::SetSimdLevel(tier));
+    for (const size_t threads : {1u, 6u}) {
+      const PipelineResult run = RunWithThreads(threads, 32);
+      EXPECT_EQ(reference.trie_size, run.trie_size)
+          << kern::SimdLevelName(tier) << " x " << threads;
+      EXPECT_EQ(reference.total_mentions, run.total_mentions)
+          << kern::SimdLevelName(tier) << " x " << threads;
+      EXPECT_TRUE(SpansEqual(reference.local, run.local))
+          << kern::SimdLevelName(tier) << " x " << threads;
+      EXPECT_TRUE(SpansEqual(reference.global, run.global))
+          << kern::SimdLevelName(tier) << " x " << threads;
+    }
+  }
+  kern::ResetSimdLevel();
+  if (!have_avx2) {
+    GTEST_SKIP() << "AVX2 tier unavailable; sweep covered generic only";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// ScratchArena ownership and steady-state behaviour (DESIGN.md "Scratch
+// arena"): slots are reused across frames, growth events are counted, and
+// a warmed-up arena hands out matrices without touching the heap.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/scratch_arena.h"
+
+namespace nerglob::common {
+namespace {
+
+TEST(ScratchArenaTest, FrameRestoresMarkAndReusesSlot) {
+  ScratchArena arena;
+  Matrix* first = nullptr;
+  {
+    ScratchFrame frame(&arena);
+    first = frame.Get(4, 4);
+    EXPECT_EQ(arena.depth(), 1u);
+  }
+  EXPECT_EQ(arena.depth(), 0u);
+  ScratchFrame frame(&arena);
+  // The next frame gets the same slot object back, reshaped.
+  Matrix* again = frame.Get(2, 8);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(again->rows(), 2u);
+  EXPECT_EQ(again->cols(), 8u);
+}
+
+TEST(ScratchArenaTest, FramesNestLikeACallStack) {
+  ScratchArena arena;
+  ScratchFrame outer(&arena);
+  Matrix* a = outer.Get(1, 1);
+  {
+    ScratchFrame inner(outer.arena());
+    Matrix* b = inner.Get(1, 1);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(arena.depth(), 2u);
+  }
+  EXPECT_EQ(arena.depth(), 1u);
+  // A sibling frame reuses the inner frame's slot.
+  ScratchFrame sibling(outer.arena());
+  Matrix* c = sibling.Get(3, 3);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(arena.depth(), 2u);
+}
+
+TEST(ScratchArenaTest, CountsGrowthEventsOnlyWhenCapacityGrows) {
+  ScratchArena arena;
+  {
+    ScratchFrame frame(&arena);
+    frame.Get(4, 4);  // new slot + buffer growth
+  }
+  const uint64_t after_warmup = arena.heap_allocs();
+  EXPECT_GE(after_warmup, 1u);
+  const size_t reserved = arena.reserved_bytes();
+  EXPECT_GE(reserved, 4 * 4 * sizeof(float));
+
+  // Same and smaller shapes fit in the kept capacity: zero new events.
+  for (int i = 0; i < 10; ++i) {
+    ScratchFrame frame(&arena);
+    frame.Get(4, 4);
+  }
+  {
+    ScratchFrame frame(&arena);
+    frame.Get(2, 2);
+    frame.arena();
+  }
+  EXPECT_EQ(arena.heap_allocs(), after_warmup);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+
+  // A larger shape grows the buffer: exactly one more event burst.
+  {
+    ScratchFrame frame(&arena);
+    frame.Get(8, 8);
+  }
+  EXPECT_GT(arena.heap_allocs(), after_warmup);
+  EXPECT_GE(arena.reserved_bytes(), 8 * 8 * sizeof(float));
+}
+
+TEST(ScratchArenaTest, GetZeroZeroesTheFullExtent) {
+  ScratchArena arena;
+  {
+    ScratchFrame frame(&arena);
+    Matrix* m = frame.Get(3, 3);
+    m->Fill(7.0f);
+  }
+  ScratchFrame frame(&arena);
+  Matrix* z = frame.GetZero(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(z->At(r, c), 0.0f);
+  }
+}
+
+TEST(ScratchArenaTest, ResetReleasesSlotsButKeepsCapacity) {
+  ScratchArena arena;
+  arena.Get(5, 5);
+  arena.Get(5, 5);
+  const uint64_t allocs = arena.heap_allocs();
+  const size_t reserved = arena.reserved_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.depth(), 0u);
+  arena.Get(5, 5);
+  arena.Get(5, 5);
+  EXPECT_EQ(arena.heap_allocs(), allocs);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(ScratchArenaTest, ThreadLocalArenasAreDistinct) {
+  ScratchArena* main_arena = &ScratchArena::ThreadLocal();
+  ScratchArena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &ScratchArena::ThreadLocal(); });
+  t.join();
+  ASSERT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+  // Same thread, same arena.
+  EXPECT_EQ(main_arena, &ScratchArena::ThreadLocal());
+}
+
+}  // namespace
+}  // namespace nerglob::common

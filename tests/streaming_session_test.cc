@@ -8,6 +8,8 @@
 #include <set>
 #include <string>
 
+#include "common/scratch_arena.h"
+#include "common/thread_pool.h"
 #include "harness/experiment.h"
 #include "stream/streaming_session.h"
 
@@ -230,6 +232,34 @@ TEST_F(StreamingSessionTest, RestoreRejectsCorruptCheckpoint) {
   EXPECT_EQ(target.batches_processed(), 0u);  // untouched by the failed load
   EXPECT_TRUE(target.Step(&source));          // still works
   std::remove(path.c_str());
+}
+
+TEST_F(StreamingSessionTest, SteadyStateProcessingNeverGrowsTheArena) {
+  // The zero-allocation acceptance criterion (ISSUE/DESIGN.md): once a
+  // stream has exercised its peak shapes, ProcessBatch performs no heap
+  // allocation for activations — i.e. the scratch arena records zero
+  // growth events. Two identical passes: pass 1 warms this thread's arena
+  // (parallelism 1 keeps all inference inline on the calling thread),
+  // pass 2 must leave the growth counter untouched.
+  SetParallelism(1);
+  auto messages = Dataset("D1");
+  const size_t window = messages.size() / 3;
+  {
+    stream::StreamSource warm(messages, 16);
+    auto warm_session = MakeSession(window);
+    warm_session.Run(&warm);
+  }
+  common::ScratchArena& arena = common::ScratchArena::ThreadLocal();
+  const uint64_t warm_allocs = arena.heap_allocs();
+  EXPECT_GT(warm_allocs, 0u);  // the warm pass did route through the arena
+
+  stream::StreamSource source(messages, 16);
+  auto session = MakeSession(window);
+  auto stats = session.Run(&source);
+  EXPECT_EQ(stats.messages, messages.size());
+  EXPECT_EQ(arena.heap_allocs(), warm_allocs)
+      << "steady-state ProcessBatch grew the scratch arena";
+  SetParallelism(0);
 }
 
 TEST_F(StreamingSessionTest, RestoreRejectsMismatchedWindowConfig) {
