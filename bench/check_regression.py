@@ -39,6 +39,14 @@ Checks applied:
     host has real AVX2 (``cpu_avx2`` and ``built_with_avx2``),
     ``gemm_d64_speedup`` must stay at or above ``--min-gemm-speedup``.
     Per-kernel generic/avx2 seconds are compared (normalized) like above.
+  * BENCH_serve.json (schema ``nerglob.serve.v1``) — ``deterministic``
+    must be true (concurrent serving byte-identical to single-threaded
+    replay). When the fresh run's host reports at least 8
+    ``hardware_threads``, ``speedup_8x8_over_1x1`` must stay at or above
+    ``--min-serve-speedup`` (shard scaling gives nothing on a 1-core CI
+    box, so the floor is hardware-gated like the kernels speedup). The
+    per-point ``serve_<sessions>x<shards>.wall_seconds`` timings are
+    compared (normalized) like above.
 
 Entries whose *baseline* raw time is below ``--min-seconds`` are skipped:
 they sit at clock-noise level and would make the gate flaky.
@@ -159,6 +167,37 @@ def kernels_timings(doc, path, min_gemm_speedup):
     return out
 
 
+def serve_timings(doc, path, min_serve_speedup):
+    """{name: seconds} for BENCH_serve.json, after its hard gates."""
+    if doc.get("deterministic") is not True:
+        sys.exit(
+            f"FAIL: {path} reports deterministic=false (concurrent serving "
+            "diverged from single-threaded replay)"
+        )
+    # The throughput floor only means something with real cores to scale
+    # across; a 1-core container legitimately reports ~1x.
+    if doc.get("hardware_threads", 0) >= 8:
+        speedup = float(doc.get("speedup_8x8_over_1x1", 0.0))
+        if speedup < min_serve_speedup:
+            sys.exit(
+                f"FAIL: {path} speedup_8x8_over_1x1={speedup:.2f}x is below "
+                f"the {min_serve_speedup:.2f}x floor on a >=8-thread host"
+            )
+    out = {}
+    for point in doc.get("matrix", []):
+        sessions = point.get("sessions")
+        shards = point.get("shards")
+        if sessions is None or shards is None or "wall_seconds" not in point:
+            continue
+        out[f"serve_{sessions}x{shards}.wall_seconds"] = float(
+            point["wall_seconds"]
+        )
+    for key in ("p50_latency_seconds", "p99_latency_seconds"):
+        if key in doc:
+            out[key] = float(doc[key])
+    return out
+
+
 def check_bundle_bytes(base_doc, fresh_doc, tolerance):
     """Size gate: the saved artifact must not grow past the baseline."""
     base = base_doc.get("cold_start", {}).get("bundle_bytes", 0)
@@ -199,6 +238,12 @@ def main():
         help="kernels kind: minimum gemm_d64_speedup on AVX2-capable hosts",
     )
     parser.add_argument(
+        "--min-serve-speedup",
+        type=float,
+        default=2.0,
+        help="serve kind: minimum speedup_8x8_over_1x1 on >=8-thread hosts",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="overwrite the baseline with the fresh snapshot and exit",
@@ -219,6 +264,8 @@ def main():
             return "streaming"
         if schema.startswith("nerglob.kernels"):
             return "kernels"
+        if schema.startswith("nerglob.serve"):
+            return "serve"
         return "metrics" if "metrics" in doc else "parallel"
 
     if kind(base_doc) != kind(fresh_doc):
@@ -236,6 +283,9 @@ def main():
     elif kind(fresh_doc) == "kernels":
         base = kernels_timings(base_doc, args.baseline, args.min_gemm_speedup)
         fresh = kernels_timings(fresh_doc, args.fresh, args.min_gemm_speedup)
+    elif kind(fresh_doc) == "serve":
+        base = serve_timings(base_doc, args.baseline, args.min_serve_speedup)
+        fresh = serve_timings(fresh_doc, args.fresh, args.min_serve_speedup)
     elif kind(fresh_doc) == "metrics":
         base = metrics_timings(base_doc, args.baseline)
         fresh = metrics_timings(fresh_doc, args.fresh)

@@ -1,0 +1,220 @@
+// Multi-tenant serving: many concurrent streams, one trained model.
+// N independent Covid conversation streams are multiplexed over a single
+// const ModelBundle by serve::SessionManager — each stream pinned to one
+// shard worker, per-stream order preserved, memory bounded by the sliding
+// window plus the admission-controlled queues. The punchline is the
+// determinism contract: every stream's output is byte-identical to running
+// it alone on one thread (checkable here with --verify; the CI
+// serve-stress job runs exactly that under ThreadSanitizer).
+//
+// Usage: serve_many_streams [--model=bundle.ngb] [--sessions=N]
+//                           [--shards=N] [--batch=N] [--window=N]
+//                           [--scale=S] [--verify]
+//   Defaults: sessions=8, shards=Parallelism(), batch=16, window=4*batch.
+//   --verify replays every stream single-threaded and exits non-zero if
+//   any diverges from the served output.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "harness/system_loader.h"
+#include "serve/session_manager.h"
+#include "stream/streaming_session.h"
+
+namespace {
+
+using namespace nerglob;
+
+// Strips `--name=value` from argv, returning `value` or `fallback`.
+long FlagValue(int* argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const long value = std::atol(argv[i] + prefix.size());
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return value;
+    }
+  }
+  return fallback;
+}
+
+// Same, for flags whose value is not an integer (e.g. --scale=0.08).
+std::string StringFlag(int* argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      std::string value = argv[i] + prefix.size();
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return value;
+    }
+  }
+  return "";
+}
+
+bool BoolFlag(int* argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < *argc; ++i) {
+    if (flag == argv[i]) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_path = harness::ParseModelFlag(&argc, argv);
+  const auto sessions =
+      static_cast<size_t>(FlagValue(&argc, argv, "sessions", 8));
+  const auto shards = static_cast<size_t>(FlagValue(&argc, argv, "shards", 0));
+  const auto batch_size =
+      static_cast<size_t>(FlagValue(&argc, argv, "batch", 16));
+  auto window = static_cast<size_t>(FlagValue(&argc, argv, "window", -1));
+  if (window == static_cast<size_t>(-1)) window = 4 * batch_size;
+  const bool verify = BoolFlag(&argc, argv, "verify");
+  const std::string scale_flag = StringFlag(&argc, argv, "scale");
+  const double scale =
+      scale_flag.empty() ? harness::DefaultScale() : std::atof(scale_flag.c_str());
+
+  std::printf("== Multi-session serving: %zu streams over one bundle ==\n",
+              sessions);
+  harness::BuildOptions options;
+  options.scale = scale;
+  options.cache_dir = harness::DefaultCacheDir();
+  auto loaded = harness::LoadOrTrainSystem(options, model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  harness::TrainedSystem& system = loaded.value();
+
+  // Each tenant gets its own stream: the D2 conversation rotated by a
+  // session-specific offset, so streams overlap but differ.
+  data::StreamGenerator gen(&system.kb_eval);
+  const auto messages = gen.Generate(data::MakeDatasetSpec("D2", scale));
+  std::vector<std::vector<std::vector<stream::Message>>> per_session;
+  for (size_t s = 0; s < sessions; ++s) {
+    std::vector<stream::Message> rotated = messages;
+    std::rotate(rotated.begin(),
+                rotated.begin() +
+                    static_cast<ptrdiff_t>((s * 37 + 1) % rotated.size()),
+                rotated.end());
+    stream::StreamSource source(std::move(rotated), batch_size);
+    std::vector<std::vector<stream::Message>> batches;
+    std::vector<stream::Message> batch;
+    while (!(batch = source.NextBatch()).empty()) {
+      batches.push_back(std::move(batch));
+    }
+    per_session.push_back(std::move(batches));
+  }
+
+  serve::SessionManagerConfig config;
+  config.num_shards = shards;  // 0 => Parallelism()
+  config.pipeline = core::DefaultPipelineConfig(system.bundle);
+  config.pipeline.window_messages = window;
+  serve::SessionManager manager(&system.bundle, config);
+  std::printf("%zu shard workers, queue capacity %zu batches/shard, "
+              "window %zu messages\n",
+              manager.num_shards(), manager.queue_capacity(), window);
+
+  std::vector<std::string> ids;
+  for (size_t s = 0; s < sessions; ++s) {
+    ids.push_back("stream-" + std::to_string(s));
+    if (Status st = manager.Open(ids.back()); !st.ok()) {
+      std::fprintf(stderr, "Open: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Fan-in frontend: a few client threads push their tenants' batches in
+  // order, backing off on Status::Unavailable — the backpressure contract.
+  std::atomic<uint64_t> retries{0};
+  const size_t num_clients = std::min<size_t>(sessions, 4);
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t s = c; s < sessions; s += num_clients) {
+        for (const auto& batch : per_session[s]) {
+          while (true) {
+            const Status st = manager.Submit(ids[s], batch);
+            if (st.ok()) break;
+            if (st.code() != StatusCode::kUnavailable) {
+              std::fprintf(stderr, "Submit: %s\n", st.ToString().c_str());
+              return;
+            }
+            retries.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  manager.FlushAll();
+  const double wall = timer.ElapsedSeconds();
+
+  const serve::SessionManagerStats stats = manager.stats();
+  std::printf("\nserved %llu batches (%llu messages) in %.2fs — %.0f "
+              "messages/s across %zu sessions\n",
+              static_cast<unsigned long long>(stats.processed_batches),
+              static_cast<unsigned long long>(stats.processed_messages), wall,
+              wall > 0 ? stats.processed_messages / wall : 0.0, sessions);
+  std::printf("backpressure: %llu rejected submissions, %llu client retries\n",
+              static_cast<unsigned long long>(stats.rejected_batches),
+              static_cast<unsigned long long>(retries.load()));
+
+  bool ok = true;
+  size_t verified = 0;
+  for (size_t s = 0; s < sessions; ++s) {
+    auto got = manager.TakeFinalized(ids[s]);
+    if (!got.ok()) {
+      std::fprintf(stderr, "TakeFinalized(%s): %s\n", ids[s].c_str(),
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    if (got->size() != messages.size()) {
+      std::fprintf(stderr, "%s: %zu finalized, want %zu\n", ids[s].c_str(),
+                   got->size(), messages.size());
+      ok = false;
+      continue;
+    }
+    if (!verify) continue;
+    // Single-threaded replay of the same batches: the served output must
+    // be byte-identical, or the determinism contract is broken.
+    stream::StreamingSessionConfig replay_config;
+    replay_config.pipeline = core::DefaultPipelineConfig(system.bundle);
+    replay_config.pipeline.window_messages = window;
+    stream::StreamingSession replay(&system.bundle, replay_config);
+    for (const auto& batch : per_session[s]) replay.ProcessBatch(batch);
+    replay.Flush();
+    const auto want = replay.TakeFinalized();
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (!((*got)[i] == want[i])) {
+        std::fprintf(stderr, "%s: message %zu diverged from replay\n",
+                     ids[s].c_str(), i);
+        ok = false;
+        break;
+      }
+    }
+    ++verified;
+  }
+  if (verify) {
+    std::printf("verify: %zu/%zu streams byte-identical to single-threaded "
+                "replay — %s\n", verified, sessions, ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}

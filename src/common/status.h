@@ -20,6 +20,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// Transient overload: the operation was rejected by admission control
+  /// (e.g. a serving queue at its high watermark) and may succeed if
+  /// retried after the backlog drains.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -66,6 +70,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

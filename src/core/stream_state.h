@@ -28,6 +28,9 @@ namespace nerglob::core {
 struct FinalizedMessage {
   int64_t message_id = 0;
   std::vector<text::EntitySpan> spans;
+  friend bool operator==(const FinalizedMessage& a, const FinalizedMessage& b) {
+    return a.message_id == b.message_id && a.spans == b.spans;
+  }
 };
 
 /// Per-component heap accounting for the pipeline's stream state, in

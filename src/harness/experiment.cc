@@ -106,6 +106,21 @@ void StatsIntoSystem(const std::vector<double>& stats, TrainedSystem* s) {
   s->d5_mention_examples = static_cast<size_t>(stats[7]);
 }
 
+BuildOptions TinyTestOptions() {
+  BuildOptions options;
+  options.scale = 0.08;
+  options.lm_config.d_model = 32;
+  options.lm_config.num_heads = 2;
+  options.lm_config.num_layers = 1;
+  options.lm_config.subword_buckets = 1024;
+  options.max_triplets = 4000;
+  options.embedder_epochs = 15;
+  options.classifier_epochs = 40;
+  options.kb_entities_per_topic_type = 10;
+  options.cache_dir = "";  // always train fresh in tests
+  return options;
+}
+
 double DefaultScale() {
   if (const char* env = std::getenv("NERGLOB_SCALE"); env != nullptr) {
     const double v = std::atof(env);

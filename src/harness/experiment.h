@@ -56,6 +56,12 @@ struct BuildOptions {
   std::string cache_dir;
 };
 
+/// The miniature configuration shared by the trained-system test fixtures
+/// (pipeline_test, model_bundle_test, streaming_session_test, serve_test):
+/// scale 0.08, a 1-layer d_model=32 encoder, shortened training schedules,
+/// caching disabled. Trains in seconds while still exercising every stage.
+BuildOptions TinyTestOptions();
+
 /// Builds the full system: generates TRAIN and D5, fine-tunes MicroBert,
 /// collects D5 mention examples, trains the Phrase Embedder (chosen
 /// objective) and the Entity Classifier. Deterministic in `options`.

@@ -43,6 +43,7 @@ enum RecordTag : uint32_t {
   kTagPipelineState = 8, // votes/support/cache/finalized/counters
   kTagSession = 9,       // StreamingSession counters + finalized buffer
   kTagBlob = 10,         // free-form (harness baseline caches, tests)
+  kTagServeManifest = 11,  // serve::SessionManager fleet checkpoint index
 };
 
 /// Writes one artifact file. Values are buffered into the current record

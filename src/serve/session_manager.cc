@@ -1,0 +1,413 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "io/tensor_io.h"
+
+namespace nerglob::serve {
+namespace {
+
+// 1-2-5 steps from 1us to 50s: finer than the decade-wide default so the
+// enqueue-to-complete percentiles bench_serve derives are meaningful.
+std::vector<double> LatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 20.0; decade *= 10.0) {
+    for (const double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+size_t DefaultQueueCapacity() {
+  static const size_t cap = [] {
+    const char* env = std::getenv("NERGLOB_SERVE_QUEUE_CAP");
+    if (env != nullptr) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(64);
+  }();
+  return cap;
+}
+
+SessionManager::SessionManager(const core::ModelBundle* bundle,
+                               SessionManagerConfig config)
+    : bundle_(bundle), config_(std::move(config)) {
+  const size_t num_shards =
+      config_.num_shards > 0 ? config_.num_shards : Parallelism();
+  queue_capacity_ =
+      config_.queue_capacity > 0 ? config_.queue_capacity : DefaultQueueCapacity();
+  if (config_.high_watermark > 0) {
+    high_watermark_ = std::min(config_.high_watermark, queue_capacity_);
+    low_watermark_ = std::min(config_.low_watermark, high_watermark_);
+  } else {
+    high_watermark_ = queue_capacity_;
+    low_watermark_ = queue_capacity_ / 2;
+  }
+
+  auto& registry = metrics::MetricsRegistry::Global();
+  submitted_counter_ = registry.GetCounter("serve.submitted_total");
+  rejected_counter_ = registry.GetCounter("serve.rejected_total");
+  processed_counter_ = registry.GetCounter("serve.processed_batches_total");
+  messages_counter_ = registry.GetCounter("serve.processed_messages_total");
+  sessions_gauge_ = registry.GetGauge("serve.sessions");
+  latency_histogram_ =
+      registry.GetHistogram("serve.enqueue_to_complete_seconds",
+                            LatencyBounds());
+
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->depth_gauge =
+        registry.GetGauge(StrFormat("serve.shard%zu.queue_depth", i));
+    shards_.push_back(std::move(shard));
+  }
+  // Start the workers only once every shard exists: a worker touches other
+  // members (drain_mu_, counters) that must be fully constructed first.
+  for (auto& shard : shards_) {
+    shard->worker = std::thread(&SessionManager::WorkerLoop, this, shard.get());
+  }
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+size_t SessionManager::ShardOf(const std::string& stream_id) const {
+  // FNV-1a 64: stable across platforms/runs, so a checkpointed fleet
+  // restores every session onto the same shard.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : stream_id) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+stream::StreamingSessionConfig SessionManager::SessionConfig() const {
+  stream::StreamingSessionConfig config;
+  config.pipeline = config_.pipeline;
+  return config;
+}
+
+Status SessionManager::Open(const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (!accepting_) {
+    return Status::FailedPrecondition("SessionManager is shut down");
+  }
+  if (sessions_.count(stream_id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("session '%s' is already open", stream_id.c_str()));
+  }
+  sessions_.emplace(stream_id,
+                    std::make_unique<SessionEntry>(stream_id, ShardOf(stream_id),
+                                                   bundle_, SessionConfig()));
+  sessions_gauge_->Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+Status SessionManager::Close(const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("no session '%s'", stream_id.c_str()));
+  }
+  // Queued batches still reference the entry; let the workers finish them
+  // before freeing it. Submit is blocked on sessions_mu_, so no new work
+  // can arrive in between.
+  AwaitSessionIdle(it->second.get());
+  sessions_.erase(it);
+  sessions_gauge_->Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+Status SessionManager::Submit(const std::string& stream_id,
+                              std::vector<stream::Message> batch) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (!accepting_) {
+    return Status::FailedPrecondition("SessionManager is shut down");
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("Submit: empty batch");
+  }
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("no session '%s'", stream_id.c_str()));
+  }
+  SessionEntry* entry = it->second.get();
+  Shard& shard = *shards_[entry->shard];
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    // Admission control with hysteresis: once a shard trips its high
+    // watermark it keeps rejecting until the worker drains it down to the
+    // low watermark, so a burst sees one contiguous rejection episode.
+    if (shard.overloaded || shard.queue.size() >= high_watermark_) {
+      shard.overloaded = true;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_counter_->Increment();
+      return Status::Unavailable(
+          StrFormat("shard %zu overloaded (%zu queued, capacity %zu); retry "
+                    "after the backlog drains",
+                    entry->shard, shard.queue.size(), queue_capacity_));
+    }
+    {
+      // Count the batch as pending before it becomes visible to the
+      // worker, or the worker's decrement could race ahead of us.
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      ++pending_;
+      ++entry->pending;
+    }
+    WorkItem item;
+    item.entry = entry;
+    item.batch = std::move(batch);
+    item.enqueued = MonotonicClock::now();
+    shard.queue.push_back(std::move(item));
+    shard.depth_gauge->Set(static_cast<double>(shard.queue.size()));
+  }
+  shard.cv.notify_one();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_counter_->Increment();
+  return Status::OK();
+}
+
+void SessionManager::WorkerLoop(Shard* shard) {
+  static const trace::TraceStage kServeBatchStage("serve_batch");
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               (!paused_.load(std::memory_order_acquire) &&
+                !shard->queue.empty());
+      });
+      if (shard->queue.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;  // spurious wake, or paused with pending notify
+      }
+      item = std::move(shard->queue.front());
+      shard->queue.pop_front();
+      if (shard->queue.size() <= low_watermark_) shard->overloaded = false;
+      shard->depth_gauge->Set(static_cast<double>(shard->queue.size()));
+    }
+    {
+      // The session is safe to touch without a lock: it is pinned to this
+      // shard, this shard has exactly one worker, and control-plane
+      // callers wait for entry->pending == 0 before touching it.
+      trace::TraceSpan span(kServeBatchStage);
+      item.entry->session.ProcessBatch(item.batch);
+    }
+    processed_batches_.fetch_add(1, std::memory_order_relaxed);
+    processed_messages_.fetch_add(item.batch.size(), std::memory_order_relaxed);
+    if (metrics::Enabled()) {
+      processed_counter_->Increment();
+      messages_counter_->Increment(item.batch.size());
+      latency_histogram_->Observe(
+          std::chrono::duration<double>(MonotonicClock::now() - item.enqueued)
+              .count());
+    }
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      --pending_;
+      --item.entry->pending;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void SessionManager::AwaitSessionIdle(SessionEntry* entry) {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return entry->pending == 0; });
+}
+
+void SessionManager::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void SessionManager::Pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void SessionManager::Resume() {
+  paused_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    // Lock/unlock pairs the store with the worker's predicate check so the
+    // notify cannot slip between its check and its wait.
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
+  }
+}
+
+void SessionManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (workers_joined_) return;
+    accepting_ = false;
+  }
+  Resume();  // a paused manager must still drain
+  Drain();
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  workers_joined_ = true;
+}
+
+Status SessionManager::Flush(const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("no session '%s'", stream_id.c_str()));
+  }
+  AwaitSessionIdle(it->second.get());
+  it->second->session.Flush();
+  return Status::OK();
+}
+
+void SessionManager::FlushAll() {
+  // sessions_mu_ blocks new Submits while we wait, so the flush below sees
+  // a quiesced fleet.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  {
+    std::unique_lock<std::mutex> drain_lock(drain_mu_);
+    drain_cv_.wait(drain_lock, [&] { return pending_ == 0; });
+  }
+  for (auto& [id, entry] : sessions_) entry->session.Flush();
+}
+
+Result<std::vector<core::FinalizedMessage>> SessionManager::TakeFinalized(
+    const std::string& stream_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("no session '%s'", stream_id.c_str()));
+  }
+  // Quiesce this session so the worker's last ProcessBatch (and its
+  // finalized output) happens-before our read.
+  AwaitSessionIdle(it->second.get());
+  return it->second->session.TakeFinalized();
+}
+
+Status SessionManager::CheckpointAll(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  {
+    std::unique_lock<std::mutex> drain_lock(drain_mu_);
+    drain_cv_.wait(drain_lock, [&] { return pending_ == 0; });
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create '%s': %s", dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  // Manifest first: session ids -> checkpoint files, in sorted-id order
+  // (sessions_ is an ordered map) so the fleet checkpoint is deterministic.
+  io::TensorWriter writer(dir + "/manifest.ngm");
+  writer.PutU64(sessions_.size());
+  std::vector<std::pair<const SessionEntry*, std::string>> files;
+  files.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    std::string file = StrFormat("session_%zu.ckpt", files.size());
+    writer.PutString(id);
+    writer.PutString(file);
+    files.emplace_back(entry.get(), std::move(file));
+  }
+  NERGLOB_RETURN_IF_ERROR(writer.EndRecord(io::kTagServeManifest));
+  NERGLOB_RETURN_IF_ERROR(writer.Finish());
+  for (const auto& [entry, file] : files) {
+    NERGLOB_RETURN_IF_ERROR(entry->session.Checkpoint(dir + "/" + file));
+  }
+  return Status::OK();
+}
+
+Status SessionManager::RestoreAll(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (!accepting_) {
+    return Status::FailedPrecondition("SessionManager is shut down");
+  }
+  const std::string manifest_path = dir + "/manifest.ngm";
+  io::TensorReader reader(manifest_path);
+  NERGLOB_RETURN_IF_ERROR(reader.NextRecord(io::kTagServeManifest));
+  auto fail = [&](const char* what) {
+    return reader.status().ok()
+               ? Status::InvalidArgument(
+                     StrFormat("'%s': corrupt serve manifest (%s)",
+                               manifest_path.c_str(), what))
+               : reader.status();
+  };
+  uint64_t count = 0;
+  if (!reader.GetU64(&count) || count > reader.RemainingInRecord()) {
+    return fail("count");
+  }
+  // Two-phase: restore every session into a staging map, commit only when
+  // the whole manifest validates — a bad file leaves the manager unchanged.
+  std::map<std::string, std::unique_ptr<SessionEntry>> staged;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string id, file;
+    if (!reader.GetString(&id) || !reader.GetString(&file)) {
+      return fail("entry");
+    }
+    if (file.empty() || file.find('/') != std::string::npos ||
+        file.find("..") != std::string::npos) {
+      return fail("checkpoint filename");
+    }
+    if (sessions_.count(id) > 0 || staged.count(id) > 0) {
+      return Status::AlreadyExists(
+          StrFormat("session '%s' from '%s' is already open", id.c_str(),
+                    manifest_path.c_str()));
+    }
+    auto entry = std::make_unique<SessionEntry>(id, ShardOf(id), bundle_,
+                                                SessionConfig());
+    NERGLOB_RETURN_IF_ERROR(entry->session.Restore(dir + "/" + file));
+    staged.emplace(id, std::move(entry));
+  }
+  NERGLOB_RETURN_IF_ERROR(reader.ExpectRecordEnd());
+  for (auto& [id, entry] : staged) {
+    sessions_.emplace(id, std::move(entry));
+  }
+  sessions_gauge_->Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+SessionManagerStats SessionManager::stats() const {
+  SessionManagerStats s;
+  s.submitted_batches = submitted_.load(std::memory_order_relaxed);
+  s.rejected_batches = rejected_.load(std::memory_order_relaxed);
+  s.processed_batches = processed_batches_.load(std::memory_order_relaxed);
+  s.processed_messages = processed_messages_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  s.open_sessions = sessions_.size();
+  return s;
+}
+
+size_t SessionManager::QueueDepth(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->queue.size();
+}
+
+std::vector<std::string> SessionManager::SessionIds() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace nerglob::serve

@@ -12,6 +12,16 @@ StreamSource::StreamSource(std::vector<Message> messages, size_t batch_size)
   NERGLOB_CHECK_GT(batch_size, 0u);
 }
 
+// Exhaustion contract (relied on by StreamingSession::Run and by
+// serve::SessionManager frontends that re-poll sources between Reset()s):
+// once next_ reaches the end, every further NextBatch() returns an empty
+// vector in O(1) — no copies, no partial batches, no failure path — and
+// HasNext() stays false. A driver that keeps polling an exhausted source
+// therefore does no work per poll and cannot spin on stale data; the only
+// way to make the source productive again is Reset(), which rewinds to the
+// first message and replays the *identical* batch sequence (same
+// boundaries, same order). Pinned by StreamSourceTest.
+// ExhaustedSourcePollsAreFreeAndResetReplaysIdentically.
 std::vector<Message> StreamSource::NextBatch() {
   if (!HasNext()) return {};
   const size_t count = std::min(batch_size_, messages_.size() - next_);

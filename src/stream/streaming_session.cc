@@ -20,7 +20,10 @@ StreamingSession::StreamingSession(const core::ModelBundle* bundle,
     : pipeline_(bundle, config.pipeline) {}
 
 bool StreamingSession::Step(StreamSource* source) {
-  std::vector<Message> batch = source->NextBatch();
+  return ProcessBatch(source->NextBatch());
+}
+
+bool StreamingSession::ProcessBatch(const std::vector<Message>& batch) {
   if (batch.empty()) return false;
   flushed_ = false;
   messages_ += batch.size();

@@ -45,8 +45,10 @@ struct StreamingRunStats {
 ///      +---- Step: empty batch / Flush --> [flushed] (terminal until the
 ///                                          next Step resumes the stream)
 ///
-/// Thread-safety: not thread-safe; drive a session from one thread. The
-/// pipeline parallelizes internally (see NerGlobalizer).
+/// Thread-safety: not thread-safe; drive a session from one thread at a
+/// time. The pipeline parallelizes internally (see NerGlobalizer), and
+/// serve::SessionManager multiplexes many sessions by pinning each one to
+/// a single shard worker, preserving this contract.
 class StreamingSession {
  public:
   /// `model`, `embedder`, and `classifier` must outlive the session and be
@@ -67,6 +69,13 @@ class StreamingSession {
   /// `while (session.Step(&source)) {}`. Cost: one ProcessBatch, bounded
   /// by batch size + window size when eviction is on.
   bool Step(StreamSource* source);
+
+  /// Push-based twin of Step for drivers that deliver batches themselves
+  /// (serve::SessionManager shard workers, network frontends): processes
+  /// one already-assembled batch. An empty batch is a no-op returning
+  /// false — the same end-of-stream signal Step derives from an exhausted
+  /// source, so `Step(&s)` is exactly `ProcessBatch(s.NextBatch())`.
+  bool ProcessBatch(const std::vector<Message>& batch);
 
   /// Drives the source to exhaustion, then Flush()es the remaining live
   /// window. Returns the aggregate stats.

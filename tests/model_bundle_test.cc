@@ -29,18 +29,8 @@ std::string TempPath(const char* name) {
 class ModelBundleTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    harness::BuildOptions options;
-    options.scale = 0.08;
-    options.lm_config.d_model = 32;
-    options.lm_config.num_heads = 2;
-    options.lm_config.num_layers = 1;
-    options.lm_config.subword_buckets = 1024;
-    options.max_triplets = 4000;
-    options.embedder_epochs = 15;
-    options.classifier_epochs = 40;
-    options.kb_entities_per_topic_type = 10;
-    options.cache_dir = "";  // always train fresh in tests
-    system_ = new harness::TrainedSystem(harness::BuildTrainedSystem(options));
+    system_ = new harness::TrainedSystem(
+        harness::BuildTrainedSystem(harness::TinyTestOptions()));
   }
   static void TearDownTestSuite() {
     delete system_;

@@ -1,0 +1,322 @@
+// serve::SessionManager: the sharded multi-session serving runtime. The
+// load-bearing property is determinism under concurrency — N sessions
+// multiplexed over one bundle must produce byte-identical output to a
+// single-threaded replay — plus the admission-control and lifecycle edges
+// (backpressure, drain, shutdown, fleet checkpoint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "serve/session_manager.h"
+#include "stream/message.h"
+
+namespace nerglob {
+namespace {
+
+// One small trained system shared by every test in this file (training is
+// the expensive part; same miniature configuration as pipeline_test).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new harness::TrainedSystem(
+        harness::BuildTrainedSystem(harness::TinyTestOptions()));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static serve::SessionManagerConfig ManagerConfig(size_t num_shards,
+                                                   size_t window,
+                                                   size_t queue_capacity = 0,
+                                                   size_t high_watermark = 0,
+                                                   size_t low_watermark = 0) {
+    serve::SessionManagerConfig config;
+    config.num_shards = num_shards;
+    config.queue_capacity = queue_capacity;
+    config.high_watermark = high_watermark;
+    config.low_watermark = low_watermark;
+    config.pipeline = core::DefaultPipelineConfig(system_->bundle);
+    config.pipeline.window_messages = window;
+    return config;
+  }
+
+  static std::vector<stream::Message> Dataset(const std::string& name) {
+    data::StreamGenerator gen(&system_->kb_eval);
+    return gen.Generate(data::MakeDatasetSpec(name, 0.08));
+  }
+
+  // The batch sequence a StreamSource would deliver for `messages`.
+  static std::vector<std::vector<stream::Message>> Batches(
+      const std::vector<stream::Message>& messages, size_t batch_size) {
+    stream::StreamSource source(messages, batch_size);
+    std::vector<std::vector<stream::Message>> out;
+    std::vector<stream::Message> batch;
+    while (!(batch = source.NextBatch()).empty()) out.push_back(std::move(batch));
+    return out;
+  }
+
+  // Ground truth: the same batches through one single-threaded session.
+  static std::vector<core::FinalizedMessage> SequentialReplay(
+      const std::vector<std::vector<stream::Message>>& batches, size_t window) {
+    stream::StreamingSessionConfig config;
+    config.pipeline = core::DefaultPipelineConfig(system_->bundle);
+    config.pipeline.window_messages = window;
+    stream::StreamingSession session(&system_->bundle, config);
+    for (const auto& batch : batches) session.ProcessBatch(batch);
+    session.Flush();
+    return session.TakeFinalized();
+  }
+
+  // Distinct per-session stream: the shared dataset rotated by `k`.
+  static std::vector<stream::Message> Rotate(std::vector<stream::Message> msgs,
+                                             size_t k) {
+    std::rotate(msgs.begin(),
+                msgs.begin() + static_cast<ptrdiff_t>(k % msgs.size()),
+                msgs.end());
+    return msgs;
+  }
+
+  // Submits every batch in order, retrying on transient overload — the
+  // documented client response to Status::Unavailable.
+  static void SubmitAll(serve::SessionManager* manager, const std::string& id,
+                        const std::vector<std::vector<stream::Message>>& batches) {
+    for (const auto& batch : batches) {
+      while (true) {
+        Status s = manager->Submit(id, batch);
+        if (s.ok()) break;
+        if (s.code() != StatusCode::kUnavailable) {
+          ADD_FAILURE() << "Submit(" << id << "): " << s.ToString();
+          return;
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  static harness::TrainedSystem* system_;
+};
+
+harness::TrainedSystem* ServeTest::system_ = nullptr;
+
+TEST_F(ServeTest, ConcurrentSessionsMatchSequentialReplay) {
+  // 6 tenants on 4 shards, submitted from 3 client threads: every
+  // session's output must be byte-identical to its own single-threaded
+  // replay, no matter how the shards interleave.
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  const size_t batch_size = 8;
+  constexpr size_t kSessions = 6;
+
+  std::vector<std::vector<std::vector<stream::Message>>> per_session;
+  for (size_t s = 0; s < kSessions; ++s) {
+    per_session.push_back(Batches(Rotate(messages, s * 17 + 1), batch_size));
+  }
+
+  serve::SessionManager manager(&system_->bundle, ManagerConfig(4, window));
+  EXPECT_EQ(manager.num_shards(), 4u);
+  std::vector<std::string> ids;
+  for (size_t s = 0; s < kSessions; ++s) {
+    ids.push_back("stream-" + std::to_string(s));
+    ASSERT_TRUE(manager.Open(ids.back()).ok());
+  }
+
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t s = t; s < kSessions; s += 3) {
+        SubmitAll(&manager, ids[s], per_session[s]);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  manager.FlushAll();
+
+  size_t total_batches = 0;
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto got = manager.TakeFinalized(ids[s]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = SequentialReplay(per_session[s], window);
+    ASSERT_EQ(got->size(), want.size()) << ids[s];
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_TRUE((*got)[i] == want[i]) << ids[s] << " message " << i;
+    }
+    total_batches += per_session[s].size();
+  }
+
+  const serve::SessionManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.submitted_batches, total_batches);
+  EXPECT_EQ(stats.processed_batches, total_batches);
+  EXPECT_EQ(stats.processed_messages, kSessions * messages.size());
+  EXPECT_EQ(stats.open_sessions, kSessions);
+}
+
+TEST_F(ServeTest, BackpressureRejectsWithUnavailableThenRecovers) {
+  // Pause() keeps the worker from draining, so the queue fills
+  // deterministically: once the high watermark trips, Submit returns the
+  // documented Unavailable status until the backlog drains.
+  auto messages = Dataset("D1");
+  auto batches = Batches(messages, 4);
+  ASSERT_GE(batches.size(), 4u);
+
+  serve::SessionManager manager(
+      &system_->bundle,
+      ManagerConfig(1, 0, /*queue_capacity=*/2));
+  ASSERT_TRUE(manager.Open("s").ok());
+  manager.Pause();
+
+  EXPECT_TRUE(manager.Submit("s", batches[0]).ok());
+  EXPECT_TRUE(manager.Submit("s", batches[1]).ok());
+  EXPECT_EQ(manager.QueueDepth(0), 2u);
+  Status overloaded = manager.Submit("s", batches[2]);
+  EXPECT_EQ(overloaded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(manager.Submit("s", batches[2]).code(), StatusCode::kUnavailable);
+
+  manager.Resume();
+  manager.Drain();
+  EXPECT_EQ(manager.QueueDepth(0), 0u);
+  // Drain is a barrier, not a shutdown: the backlog is gone, so the shard
+  // accepts again and the late batches complete normally.
+  EXPECT_TRUE(manager.Submit("s", batches[2]).ok());
+  manager.FlushAll();
+
+  const serve::SessionManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.submitted_batches, 3u);
+  EXPECT_EQ(stats.rejected_batches, 2u);
+  EXPECT_EQ(stats.processed_batches, 3u);
+}
+
+TEST_F(ServeTest, HighWatermarkTripsBelowHardCapacity) {
+  // high_watermark < queue_capacity: admission control rejects at the
+  // watermark even though the queue has headroom.
+  auto batches = Batches(Dataset("D1"), 4);
+  serve::SessionManager manager(
+      &system_->bundle,
+      ManagerConfig(1, 0, /*queue_capacity=*/4, /*high_watermark=*/2,
+                    /*low_watermark=*/0));
+  EXPECT_EQ(manager.queue_capacity(), 4u);
+  ASSERT_TRUE(manager.Open("s").ok());
+  manager.Pause();
+  EXPECT_TRUE(manager.Submit("s", batches[0]).ok());
+  EXPECT_TRUE(manager.Submit("s", batches[1]).ok());
+  EXPECT_EQ(manager.Submit("s", batches[2]).code(), StatusCode::kUnavailable);
+  manager.Resume();
+  manager.Drain();
+  EXPECT_TRUE(manager.Submit("s", batches[2]).ok());
+}
+
+TEST_F(ServeTest, ShutdownRejectsNewWorkButKeepsResultsReadable) {
+  auto messages = Dataset("D1");
+  auto batches = Batches(messages, 8);
+  serve::SessionManager manager(&system_->bundle, ManagerConfig(2, 0));
+  ASSERT_TRUE(manager.Open("s").ok());
+  SubmitAll(&manager, "s", batches);
+  manager.Shutdown();
+  manager.Shutdown();  // idempotent
+
+  EXPECT_EQ(manager.Submit("s", batches[0]).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Open("t").code(), StatusCode::kFailedPrecondition);
+
+  // Everything submitted before the shutdown drained and stays readable.
+  ASSERT_TRUE(manager.Flush("s").ok());
+  auto got = manager.TakeFinalized("s");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), messages.size());
+}
+
+TEST_F(ServeTest, CheckpointAllRestoreAllContinuesBitIdentically) {
+  // Stop a 3-tenant fleet mid-stream, checkpoint it, restore onto a fresh
+  // manager, finish the streams there: output must equal an uninterrupted
+  // single-threaded replay — including finalized messages that were
+  // sitting uncollected in the sessions at checkpoint time.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/serve_fleet_ckpt";
+  std::filesystem::remove_all(dir);
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  constexpr size_t kSessions = 3;
+
+  std::vector<std::vector<std::vector<stream::Message>>> per_session;
+  std::vector<std::string> ids;
+  for (size_t s = 0; s < kSessions; ++s) {
+    per_session.push_back(Batches(Rotate(messages, s * 31 + 7), 8));
+    ids.push_back("ckpt-" + std::to_string(s));
+  }
+
+  serve::SessionManager first(&system_->bundle, ManagerConfig(2, window));
+  for (size_t s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(first.Open(ids[s]).ok());
+    const size_t half = per_session[s].size() / 2;
+    for (size_t b = 0; b < half; ++b) {
+      SubmitAll(&first, ids[s], {per_session[s][b]});
+    }
+  }
+  ASSERT_TRUE(first.CheckpointAll(dir).ok());
+  first.Shutdown();
+
+  serve::SessionManager second(&system_->bundle, ManagerConfig(2, window));
+  ASSERT_TRUE(second.RestoreAll(dir).ok());
+  EXPECT_EQ(second.SessionIds(), ids);
+  for (size_t s = 0; s < kSessions; ++s) {
+    for (size_t b = per_session[s].size() / 2; b < per_session[s].size(); ++b) {
+      SubmitAll(&second, ids[s], {per_session[s][b]});
+    }
+  }
+  second.FlushAll();
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto got = second.TakeFinalized(ids[s]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = SequentialReplay(per_session[s], window);
+    ASSERT_EQ(got->size(), want.size()) << ids[s];
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_TRUE((*got)[i] == want[i]) << ids[s] << " message " << i;
+    }
+  }
+
+  // Restoring over a clashing id fails without opening any manifest
+  // session (two-phase).
+  serve::SessionManager third(&system_->bundle, ManagerConfig(2, window));
+  ASSERT_TRUE(third.Open(ids[1]).ok());
+  Status clash = third.RestoreAll(dir);
+  EXPECT_EQ(clash.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(third.SessionIds(), std::vector<std::string>{ids[1]});
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, LifecycleErrorsAreTyped) {
+  auto batches = Batches(Dataset("D1"), 8);
+  serve::SessionManager manager(&system_->bundle, ManagerConfig(2, 0));
+  EXPECT_EQ(manager.Submit("nope", batches[0]).code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Close("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Flush("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.TakeFinalized("nope").status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(manager.Open("s").ok());
+  EXPECT_EQ(manager.Open("s").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(manager.Submit("s", {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(manager.Submit("s", batches[0]).ok());
+  EXPECT_TRUE(manager.Close("s").ok());
+  // Close waited for the queued batch, then dropped the session.
+  EXPECT_EQ(manager.Submit("s", batches[0]).code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.stats().open_sessions, 0u);
+  EXPECT_EQ(manager.stats().processed_batches, 1u);
+}
+
+TEST_F(ServeTest, ShardPinningIsDeterministic) {
+  serve::SessionManager manager(&system_->bundle, ManagerConfig(4, 0));
+  for (const char* id : {"a", "stream-1", "a-much-longer-stream-name"}) {
+    EXPECT_EQ(manager.ShardOf(id), manager.ShardOf(id));
+    EXPECT_LT(manager.ShardOf(id), manager.num_shards());
+  }
+}
+
+}  // namespace
+}  // namespace nerglob

@@ -70,6 +70,37 @@ TEST(StreamSourceTest, ResetReplaysTheStream) {
   EXPECT_EQ(batch[0].id, 0);  // back at the start, same order
 }
 
+TEST(StreamSourceTest, ExhaustedSourcePollsAreFreeAndResetReplaysIdentically) {
+  // The contract re-polling drivers (serve::SessionManager, bench warm-up
+  // loops) rely on, documented at StreamSource::NextBatch in stream.cc:
+  // polling an exhausted source is O(1) and side-effect-free forever — a
+  // driver that keeps polling can never spin on phantom work — and Reset()
+  // replays the byte-identical batch sequence.
+  std::vector<Message> msgs;
+  for (int i = 0; i < 5; ++i) msgs.push_back(MakeMessage(i, StrFormat("t%d", i)));
+  StreamSource source(std::move(msgs), 2);
+  std::vector<std::vector<int64_t>> first_pass;
+  while (true) {
+    auto batch = source.NextBatch();
+    if (batch.empty()) break;
+    std::vector<int64_t> ids;
+    for (const Message& m : batch) ids.push_back(m.id);
+    first_pass.push_back(std::move(ids));
+  }
+  ASSERT_EQ(first_pass.size(), 3u);  // 2 + 2 + 1
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(source.NextBatch().empty());
+    EXPECT_FALSE(source.HasNext());
+  }
+  source.Reset();
+  for (const auto& want : first_pass) {
+    auto batch = source.NextBatch();
+    ASSERT_EQ(batch.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) EXPECT_EQ(batch[j].id, want[j]);
+  }
+  EXPECT_TRUE(source.NextBatch().empty());
+}
+
 TEST(TweetBaseTest, PutFindRoundTrip) {
   TweetBase base;
   SentenceRecord rec;

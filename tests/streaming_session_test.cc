@@ -21,18 +21,8 @@ namespace {
 class StreamingSessionTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    harness::BuildOptions options;
-    options.scale = 0.08;
-    options.lm_config.d_model = 32;
-    options.lm_config.num_heads = 2;
-    options.lm_config.num_layers = 1;
-    options.lm_config.subword_buckets = 1024;
-    options.max_triplets = 4000;
-    options.embedder_epochs = 15;
-    options.classifier_epochs = 40;
-    options.kb_entities_per_topic_type = 10;
-    options.cache_dir = "";  // always train fresh in tests
-    system_ = new harness::TrainedSystem(harness::BuildTrainedSystem(options));
+    system_ = new harness::TrainedSystem(
+        harness::BuildTrainedSystem(harness::TinyTestOptions()));
   }
   static void TearDownTestSuite() {
     delete system_;
@@ -113,6 +103,54 @@ TEST_F(StreamingSessionTest, FlushIsIdempotentUntilNextStep) {
   // Exhausted source: Step does no work and reports it.
   EXPECT_FALSE(session.Step(&source));
   EXPECT_EQ(session.batches_processed(), 1u);
+}
+
+TEST_F(StreamingSessionTest, ProcessBatchMatchesSourceDrivenStep) {
+  // Push-based delivery (the way serve::SessionManager shard workers feed a
+  // session) must be indistinguishable from pulling the same batches
+  // through Step: Step(&s) is defined as ProcessBatch(s.NextBatch()).
+  auto messages = Dataset("D1");
+  const size_t batch_size = 16;
+  stream::StreamSource pulled_source(messages, batch_size);
+  auto pulled = MakeSession(0);
+  pulled.Run(&pulled_source);
+
+  auto pushed = MakeSession(0);
+  stream::StreamSource pushed_source(messages, batch_size);
+  std::vector<stream::Message> batch;
+  while (!(batch = pushed_source.NextBatch()).empty()) {
+    ASSERT_TRUE(pushed.ProcessBatch(batch));
+  }
+  EXPECT_FALSE(pushed.ProcessBatch({}));  // empty batch: end-of-stream no-op
+  pushed.Flush();
+
+  EXPECT_EQ(pushed.batches_processed(), pulled.batches_processed());
+  EXPECT_EQ(pushed.messages_processed(), pulled.messages_processed());
+  ASSERT_EQ(pushed.finalized().size(), pulled.finalized().size());
+  for (size_t i = 0; i < pushed.finalized().size(); ++i) {
+    EXPECT_TRUE(pushed.finalized()[i] == pulled.finalized()[i])
+        << "message " << i;
+  }
+}
+
+TEST_F(StreamingSessionTest, ExhaustedSourceStepsDoNoWorkUntilResetResumes) {
+  // A driver that keeps Stepping an exhausted source must never spin up
+  // phantom batches (the StreamSource exhaustion contract); after Reset
+  // the same session resumes processing.
+  auto messages = Dataset("D1");
+  stream::StreamSource source(messages, messages.size());
+  auto session = MakeSession(0);
+  ASSERT_TRUE(session.Step(&source));
+  const size_t batches = session.batches_processed();
+  const size_t processed = session.messages_processed();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(session.Step(&source));
+  }
+  EXPECT_EQ(session.batches_processed(), batches);
+  EXPECT_EQ(session.messages_processed(), processed);
+  source.Reset();
+  EXPECT_TRUE(session.Step(&source));
+  EXPECT_EQ(session.batches_processed(), batches + 1);
 }
 
 TEST_F(StreamingSessionTest, TakeFinalizedDrainsTheBuffer) {
