@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Docs link gate: fail on broken intra-repo markdown links.
+"""Docs gate: broken links, broken anchors, and stale knob references.
 
 Usage:
     check_docs.py [ROOT]
 
-Scans every tracked ``*.md`` file under ROOT (default: the repo root, i.e.
-the parent of this script's directory) for markdown links and inline image
-references, and exits non-zero if any *relative* target does not exist on
-disk. External links (http/https/mailto), pure in-page anchors (``#...``),
-and autolinks are ignored; ``target#fragment`` is checked as ``target``.
+Three checks over every tracked ``*.md`` file under ROOT (default: the
+repo root, i.e. the parent of this script's directory):
+
+1. **Relative links** — every ``[text](target)`` / ``![alt](target)``
+   whose target is a relative path must exist on disk and stay inside the
+   repo. External links (http/https/mailto/ftp) are ignored.
+2. **Anchor fragments** — ``target#fragment`` and in-page ``#fragment``
+   links must name a real heading: the fragment is checked against the
+   GitHub-style slugs of the target file's headings (lowercase,
+   punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+   duplicates).
+3. **README knob table** — every ``NERGLOB_*`` environment knob named in
+   the README's operations table must actually appear in the source tree
+   (``src/``, ``bench/``, ``examples/``, ``tests/``), so the "single
+   reference table" can never drift from the code.
 
 Stdlib-only on purpose: CI runs it before anything is built.
 """
@@ -21,11 +31,17 @@ import sys
 # target ("... "title") are stripped. Nested parens in URLs are rare enough
 # in this repo to ignore.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# Knob rows in the README table: | `NERGLOB_FOO` | ... |
+KNOB_ROW_RE = re.compile(r"^\|\s*`(NERGLOB_[A-Z0-9_]+)`\s*\|")
 
 SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "nerglob_cache",
              "node_modules", ".cache"}
 
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+KNOB_SOURCE_DIRS = ("src", "bench", "examples", "tests")
+KNOB_SOURCE_SUFFIXES = {".cc", ".h", ".py", ".cmake", ".txt", ".yml"}
 
 
 def markdown_files(root: pathlib.Path):
@@ -35,7 +51,59 @@ def markdown_files(root: pathlib.Path):
         yield path
 
 
-def check_file(path: pathlib.Path, root: pathlib.Path):
+def strip_inline_markup(text: str) -> str:
+    """Reduces heading text to what GitHub slugifies: link text kept,
+    URLs dropped, code/emphasis markers dropped."""
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    return text.replace("`", "").replace("*", "").replace("_", " ")
+
+
+def github_slug(heading: str) -> str:
+    text = strip_inline_markup(heading).strip().lower()
+    # GitHub keeps word characters, spaces, and hyphens; everything else
+    # (&, :, ., parens, ...) is deleted, then spaces become hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set:
+    """All anchor slugs defined by a markdown file, with GitHub's -N
+    deduplication for repeated headings."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return anchors
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+class AnchorCache:
+    def __init__(self):
+        self._cache = {}
+
+    def anchors(self, path: pathlib.Path) -> set:
+        key = path.resolve()
+        if key not in self._cache:
+            self._cache[key] = heading_anchors(path)
+        return self._cache[key]
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path, cache: AnchorCache):
     errors = []
     text = path.read_text(encoding="utf-8")
     in_fence = False
@@ -46,39 +114,96 @@ def check_file(path: pathlib.Path, root: pathlib.Path):
         if in_fence:
             continue
         for match in LINK_RE.finditer(line):
-            target = match.group(1)
-            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            raw = match.group(1)
+            if raw.startswith(EXTERNAL_PREFIXES):
                 continue
-            target = target.split("#", 1)[0]
-            if not target:
+            target, _, fragment = raw.partition("#")
+            if target:
+                resolved = (path.parent / target).resolve()
+                try:
+                    resolved.relative_to(root.resolve())
+                except ValueError:
+                    errors.append((lineno, raw, "escapes the repo"))
+                    continue
+                if not resolved.exists():
+                    errors.append((lineno, raw, "does not exist"))
+                    continue
+            else:
+                resolved = path  # pure in-page anchor: #fragment
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in cache.anchors(resolved):
+                    errors.append(
+                        (lineno, raw,
+                         f"no heading with anchor '#{fragment}' in "
+                         f"{resolved.name}"))
+    return errors
+
+
+def readme_knobs(root: pathlib.Path):
+    """NERGLOB_* knob names from the README's operations table."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return []
+    knobs = []
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        match = KNOB_ROW_RE.match(line.strip())
+        if match:
+            knobs.append(match.group(1))
+    return knobs
+
+
+def knob_exists_in_code(root: pathlib.Path, knob: str) -> bool:
+    for top in KNOB_SOURCE_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in base.rglob("*"):
+            if path.suffix not in KNOB_SOURCE_SUFFIXES or not path.is_file():
                 continue
-            resolved = (path.parent / target).resolve()
             try:
-                resolved.relative_to(root.resolve())
-            except ValueError:
-                errors.append((lineno, match.group(1), "escapes the repo"))
+                if knob in path.read_text(encoding="utf-8", errors="ignore"):
+                    return True
+            except OSError:
                 continue
-            if not resolved.exists():
-                errors.append((lineno, match.group(1), "does not exist"))
+    return False
+
+
+def check_knob_table(root: pathlib.Path):
+    errors = []
+    knobs = readme_knobs(root)
+    if not knobs:
+        errors.append("README.md: no NERGLOB_* knob table found "
+                      "(expected an Operations section with a knob table)")
+        return errors
+    for knob in knobs:
+        if not knob_exists_in_code(root, knob):
+            errors.append(
+                f"README.md: knob `{knob}` is documented but appears "
+                f"nowhere under {'/'.join(KNOB_SOURCE_DIRS)} — stale docs?")
     return errors
 
 
 def main(argv):
     root = pathlib.Path(argv[1]) if len(argv) > 1 else \
         pathlib.Path(__file__).resolve().parent.parent
+    cache = AnchorCache()
     total_files = 0
-    total_links_broken = 0
+    failures = 0
     for path in markdown_files(root):
         total_files += 1
-        for lineno, target, why in check_file(path, root):
-            total_links_broken += 1
+        for lineno, target, why in check_file(path, root, cache):
+            failures += 1
             print(f"{path.relative_to(root)}:{lineno}: broken link "
                   f"'{target}' ({why})")
-    if total_links_broken:
-        print(f"FAIL: {total_links_broken} broken link(s) across "
-              f"{total_files} markdown file(s)")
+    for message in check_knob_table(root):
+        failures += 1
+        print(message)
+    if failures:
+        print(f"FAIL: {failures} problem(s) across {total_files} "
+              f"markdown file(s)")
         return 1
-    print(f"OK: no broken intra-repo links in {total_files} markdown file(s)")
+    print(f"OK: links, anchors, and the README knob table check out "
+          f"across {total_files} markdown file(s)")
     return 0
 
 

@@ -1,0 +1,163 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace nerglob::fault {
+namespace {
+
+bool IsRegisteredSite(std::string_view site) {
+  for (const char* s : kAllSites) {
+    if (site == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("NERGLOB_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  Status s = ArmFromSpec(env);
+  // A chaos run with a typo'd spec would silently test nothing; fail hard.
+  NERGLOB_CHECK(s.ok()) << "invalid NERGLOB_FAULT spec: " << s.ToString();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::map<std::string, Clause> clauses;
+  uint64_t seed = 1;
+  for (const std::string& raw : SplitChar(spec, ',')) {
+    const std::string_view piece = TrimWhitespace(raw);
+    if (piece.empty()) continue;
+    if (StartsWith(piece, "seed=")) {
+      char* end = nullptr;
+      const std::string value(piece.substr(5));
+      seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("NERGLOB_FAULT: bad seed clause '%s'",
+                      std::string(piece).c_str()));
+      }
+      continue;
+    }
+    const size_t colon = piece.find(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == piece.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "NERGLOB_FAULT: clause '%s' is not site:directive",
+          std::string(piece).c_str()));
+    }
+    const std::string site(piece.substr(0, colon));
+    std::string directive(piece.substr(colon + 1));
+    if (!IsRegisteredSite(site)) {
+      return Status::InvalidArgument(StrFormat(
+          "NERGLOB_FAULT: unregistered site '%s' (see fault::kAllSites)",
+          site.c_str()));
+    }
+    Clause clause;
+    if (StartsWith(directive, "p=")) {
+      clause.mode = Clause::Mode::kProbability;
+      char* end = nullptr;
+      const std::string value = directive.substr(2);
+      clause.probability = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || clause.probability < 0.0 ||
+          clause.probability > 1.0) {
+        return Status::InvalidArgument(StrFormat(
+            "NERGLOB_FAULT: bad probability in '%s' (want p=[0,1])",
+            std::string(piece).c_str()));
+      }
+    } else {
+      clause.mode = Clause::Mode::kNth;
+      if (EndsWith(directive, "+")) {
+        clause.mode = Clause::Mode::kPersistent;
+        directive.pop_back();
+      }
+      char* end = nullptr;
+      clause.nth = std::strtoull(directive.c_str(), &end, 10);
+      if (end == directive.c_str() || *end != '\0' || clause.nth == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "NERGLOB_FAULT: bad hit count in '%s' (want a 1-based integer)",
+            std::string(piece).c_str()));
+      }
+    }
+    clauses[site] = clause;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_ = std::move(clauses);
+  hits_.clear();
+  injected_.clear();
+  total_injected_ = 0;
+  seed_ = seed;
+  rng_ = std::make_unique<Rng>(seed_);
+  armed_.store(!clauses_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_.clear();
+  hits_.clear();
+  injected_.clear();
+  total_injected_ = 0;
+  rng_.reset();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clauses_.empty()) return false;
+  const uint64_t hit = ++hits_[site];
+  auto it = clauses_.find(site);
+  if (it == clauses_.end()) return false;
+  const Clause& clause = it->second;
+  bool fire = false;
+  switch (clause.mode) {
+    case Clause::Mode::kNth:
+      fire = hit == clause.nth;
+      break;
+    case Clause::Mode::kPersistent:
+      fire = hit >= clause.nth;
+      break;
+    case Clause::Mode::kProbability:
+      fire = rng_->NextBernoulli(clause.probability);
+      break;
+  }
+  if (fire) {
+    ++injected_[site];
+    ++total_injected_;
+    static metrics::Counter* const injected_counter =
+        metrics::MetricsRegistry::Global().GetCounter("fault.injected_total");
+    injected_counter->Increment();
+    NERGLOB_LOG(kWarning) << "fault injected at " << site << " (hit " << hit
+                          << ")";
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::InjectedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = injected_.find(site);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+}  // namespace nerglob::fault

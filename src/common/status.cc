@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode {
   /// (e.g. a serving queue at its high watermark) and may succeed if
   /// retried after the backlog drains.
   kUnavailable,
+  /// Unrecoverable loss or corruption of owned state: the target (e.g. a
+  /// quarantined serving session, or a checkpoint directory with no valid
+  /// generation) cannot serve this request and retrying will not help;
+  /// callers recover from a checkpoint or discard the stream.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -73,6 +78,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "io/checkpoint_io.h"
 #include "io/tensor_io.h"
 #include "nn/module.h"
 
@@ -110,9 +111,10 @@ Status ModelBundle::Save(io::TensorWriter* writer) const {
 }
 
 Status ModelBundle::Save(const std::string& path) const {
-  io::TensorWriter writer(path);
-  NERGLOB_RETURN_IF_ERROR(Save(&writer));
-  return writer.Finish();
+  // Crash-safe: temp + fsync + atomic rename, so a crash mid-save leaves
+  // whatever was at `path` before, never a torn bundle.
+  return io::WriteFileAtomically(
+      path, [this](io::TensorWriter* writer) { return Save(writer); });
 }
 
 Result<ModelBundle> ModelBundle::Load(io::TensorReader* reader) {

@@ -96,7 +96,9 @@ class ModelBundle {
     training_stats_ = std::move(stats);
   }
 
-  /// Writes the bundle to `path` in the `.ngb` format.
+  /// Writes the bundle to `path` in the `.ngb` format (docs/FORMATS.md).
+  /// Crash-safe: written via temp + fsync + atomic rename with transient
+  /// IO failures retried (io::WriteFileAtomically).
   Status Save(const std::string& path) const;
   /// Appends the bundle's records to an already-open artifact.
   Status Save(io::TensorWriter* writer) const;

@@ -1,0 +1,204 @@
+#include "io/checkpoint_io.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace nerglob::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kGenPrefix = "gen-";
+constexpr std::string_view kTmpSuffix = ".tmp";
+
+long ParseEnvLong(const char* name, long fallback, long min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < min_value) return fallback;
+  return v;
+}
+
+#ifndef _WIN32
+Status FsyncFd(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("cannot open '%s' for fsync", path.c_str()));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError(StrFormat("fsync('%s') failed", path.c_str()));
+  }
+  return Status::OK();
+}
+#endif
+
+}  // namespace
+
+bool IsTransientError(const Status& s) {
+  return s.code() == StatusCode::kIoError ||
+         s.code() == StatusCode::kUnavailable;
+}
+
+const RetryPolicy& RetryPolicy::FromEnv() {
+  static const RetryPolicy policy = [] {
+    RetryPolicy p;
+    p.max_attempts =
+        static_cast<int>(ParseEnvLong("NERGLOB_IO_RETRIES", 3, 1));
+    p.backoff_seconds =
+        static_cast<double>(ParseEnvLong("NERGLOB_IO_BACKOFF_MS", 5, 0)) / 1e3;
+    return p;
+  }();
+  return policy;
+}
+
+Status RetryPolicy::Run(const char* what,
+                        const std::function<Status()>& fn) const {
+  static metrics::Counter* const retry_counter =
+      metrics::MetricsRegistry::Global().GetCounter("io.retry_attempts_total");
+  static metrics::Counter* const exhausted_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "io.retry_exhausted_total");
+  const int attempts = max_attempts < 1 ? 1 : max_attempts;
+  double backoff = backoff_seconds;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      retry_counter->Increment();
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2;
+      }
+    }
+    last = fn();
+    if (last.ok() || !IsTransientError(last)) return last;
+    NERGLOB_LOG(kWarning) << what << ": attempt " << attempt << "/" << attempts
+                          << " failed transiently: " << last.ToString();
+  }
+  exhausted_counter->Increment();
+  return Status(last.code(),
+                StrFormat("%s: %d attempts exhausted; last error: %s", what,
+                          attempts, last.ToString().c_str()));
+}
+
+Status FsyncFile(const std::string& path) {
+#ifndef _WIN32
+  return FsyncFd(path, O_RDONLY);
+#else
+  (void)path;
+  return Status::OK();
+#endif
+}
+
+Status FsyncDir(const std::string& path) {
+#ifndef _WIN32
+  return FsyncFd(path, O_RDONLY | O_DIRECTORY);
+#else
+  (void)path;
+  return Status::OK();
+#endif
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(TensorWriter*)>& fill,
+                           const RetryPolicy& retry) {
+  const std::string tmp = path + std::string(kTmpSuffix);
+  Status result = retry.Run(path.c_str(), [&]() -> Status {
+    {
+      TensorWriter writer(tmp, kFormatVersion, /*inject_faults=*/true);
+      Status s = fill(&writer);
+      if (s.ok()) s = writer.Finish();
+      if (!s.ok()) return s;
+    }
+    NERGLOB_RETURN_IF_ERROR(FsyncFile(tmp));
+    if (fault::InjectFault(fault::kSiteCkptRename)) {
+      return Status::IoError(StrFormat(
+          "injected fault at ckpt.rename ('%s')", path.c_str()));
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      return Status::IoError(StrFormat("rename('%s' -> '%s') failed: %s",
+                                       tmp.c_str(), path.c_str(),
+                                       ec.message().c_str()));
+    }
+    const fs::path parent = fs::path(path).parent_path();
+    return FsyncDir(parent.empty() ? "." : parent.string());
+  });
+  if (!result.ok()) {
+    std::error_code ec;
+    fs::remove(tmp, ec);  // best-effort cleanup; the final path is untouched
+  }
+  return result;
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(TensorWriter*)>& fill) {
+  return WriteFileAtomically(path, fill, RetryPolicy::FromEnv());
+}
+
+std::string GenerationDirName(uint64_t generation) {
+  return StrFormat("gen-%08llu", static_cast<unsigned long long>(generation));
+}
+
+bool ParseGenerationDirName(std::string_view name, uint64_t* generation) {
+  if (!StartsWith(name, kGenPrefix)) return false;
+  const std::string_view digits = name.substr(kGenPrefix.size());
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+std::vector<uint64_t> ListGenerations(const std::string& root) {
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    uint64_t generation = 0;
+    if (entry.is_directory() &&
+        ParseGenerationDirName(entry.path().filename().string(),
+                               &generation)) {
+      generations.push_back(generation);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+uint64_t NextGeneration(const std::string& root) {
+  uint64_t highest = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    std::string name = entry.path().filename().string();
+    if (EndsWith(name, kTmpSuffix)) {
+      name.resize(name.size() - kTmpSuffix.size());
+    }
+    uint64_t generation = 0;
+    if (ParseGenerationDirName(name, &generation) && generation > highest) {
+      highest = generation;
+    }
+  }
+  return highest + 1;
+}
+
+}  // namespace nerglob::io

@@ -1,0 +1,89 @@
+#ifndef NERGLOB_IO_CHECKPOINT_IO_H_
+#define NERGLOB_IO_CHECKPOINT_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/tensor_io.h"
+
+/// Crash-safe IO for checkpoints and model artifacts: bounded
+/// retry-with-backoff for transient failures, temp-file + fsync + atomic
+/// rename so a crash never leaves a torn artifact at the final path, and
+/// the generation-numbered checkpoint directory layout used by
+/// serve::SessionManager::CheckpointAll / RecoverLatest. Failure model and
+/// recovery guarantees: docs/RELIABILITY.md; byte-level layout:
+/// docs/FORMATS.md.
+namespace nerglob::io {
+
+/// True for codes worth retrying (kIoError, kUnavailable): the failure may
+/// be transient (ENOSPC that clears, an interrupted write, an injected
+/// fault). Everything else — corruption, version mismatch, bad arguments —
+/// is deterministic and retrying cannot help.
+bool IsTransientError(const Status& s);
+
+/// Bounded retry with exponential backoff. One policy value is cheap and
+/// copyable; the environment-configured default is cached by FromEnv().
+struct RetryPolicy {
+  /// Total attempts (first try included). Always >= 1.
+  int max_attempts = 3;
+  /// Sleep before the second attempt; doubles for each later one.
+  double backoff_seconds = 0.005;
+
+  /// NERGLOB_IO_RETRIES (attempts, default 3) and NERGLOB_IO_BACKOFF_MS
+  /// (first backoff in milliseconds, default 5). Read once per process.
+  static const RetryPolicy& FromEnv();
+
+  /// Runs `fn` until it returns OK, a non-transient error, or the attempt
+  /// budget is spent. Retries only IsTransientError codes, sleeping
+  /// between attempts. `what` labels log lines and the final error.
+  /// Metrics: io.retry_attempts_total counts re-runs,
+  /// io.retry_exhausted_total counts budgets spent without success.
+  Status Run(const char* what, const std::function<Status()>& fn) const;
+};
+
+/// fsync a file / directory by path (POSIX; no-op where unsupported).
+/// Directory fsync makes a just-renamed entry durable against power loss.
+Status FsyncFile(const std::string& path);
+Status FsyncDir(const std::string& path);
+
+/// Writes one artifact atomically: `fill` populates a TensorWriter on
+/// `path + ".tmp"`; the temp file is finished, fsynced, and renamed onto
+/// `path` (then the parent directory is fsynced). A crash or error at any
+/// point leaves either the old bytes or the new bytes at `path`, never a
+/// mix. Transient failures (including injected io.open_write / io.write /
+/// ckpt.rename faults — the writer is constructed with fault injection
+/// enabled) restart the whole file per `retry`; `fill` must therefore be
+/// idempotent. The temp file is removed on failure.
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(TensorWriter*)>& fill,
+                           const RetryPolicy& retry);
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(TensorWriter*)>& fill);
+
+/// Generation-numbered checkpoint directories. A fleet checkpoint is one
+/// `gen-<%08u>` directory per generation under a caller-chosen root; the
+/// directory is staged as `gen-<n>.tmp` and committed by a single atomic
+/// rename, so "the directory exists without a .tmp suffix" is the commit
+/// point a recovery scan keys on.
+std::string GenerationDirName(uint64_t generation);
+
+/// Parses "gen-00000042" (committed form only; ".tmp" staging dirs and
+/// anything else return false).
+bool ParseGenerationDirName(std::string_view name, uint64_t* generation);
+
+/// Committed generation numbers under `root`, ascending. Missing root =>
+/// empty (a fresh deployment has no checkpoints yet).
+std::vector<uint64_t> ListGenerations(const std::string& root);
+
+/// The next generation number to write: one past the highest existing
+/// generation, committed or staged — an abandoned `gen-<n>.tmp` from a
+/// crashed writer must never be reused for a different logical state.
+uint64_t NextGeneration(const std::string& root);
+
+}  // namespace nerglob::io
+
+#endif  // NERGLOB_IO_CHECKPOINT_IO_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 
 namespace nerglob::io {
@@ -18,8 +19,16 @@ constexpr uint64_t kMaxReasonableBytes = 1ull << 32;  // 4 GiB
 // ---------------------------------------------------------------------------
 // TensorWriter
 
-TensorWriter::TensorWriter(const std::string& path, uint32_t format_version)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+TensorWriter::TensorWriter(const std::string& path, uint32_t format_version,
+                           bool inject_faults)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      inject_faults_(inject_faults) {
+  if (inject_faults_ && fault::InjectFault(fault::kSiteIoOpenWrite)) {
+    status_ = Status::IoError(StrFormat(
+        "injected fault at io.open_write ('%s')", path.c_str()));
+    return;
+  }
   if (!out_) {
     status_ = Status::IoError(
         StrFormat("cannot open '%s' for writing", path.c_str()));
@@ -58,6 +67,11 @@ void TensorWriter::PutMatrix(const Matrix& m) {
 
 Status TensorWriter::EndRecord(uint32_t tag) {
   if (!status_.ok()) return status_;
+  if (inject_faults_ && fault::InjectFault(fault::kSiteIoWrite)) {
+    status_ = Status::IoError(StrFormat(
+        "injected fault at io.write (tag %u, '%s')", tag, path_.c_str()));
+    return status_;
+  }
   if (finished_) {
     status_ = Status::FailedPrecondition(
         StrFormat("EndRecord after Finish on '%s'", path_.c_str()));
@@ -100,8 +114,13 @@ Status TensorWriter::Finish() {
 // ---------------------------------------------------------------------------
 // TensorReader
 
-TensorReader::TensorReader(const std::string& path)
-    : path_(path), in_(path, std::ios::binary) {
+TensorReader::TensorReader(const std::string& path, bool inject_faults)
+    : path_(path), in_(path, std::ios::binary), inject_faults_(inject_faults) {
+  if (inject_faults_ && fault::InjectFault(fault::kSiteIoOpenRead)) {
+    status_ = Status::IoError(StrFormat(
+        "injected fault at io.open_read ('%s')", path.c_str()));
+    return;
+  }
   if (!in_) {
     status_ =
         Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
@@ -148,6 +167,11 @@ Status TensorReader::Fail(Status s) {
 
 Status TensorReader::NextRecord(uint32_t expect_tag) {
   if (!status_.ok()) return status_;
+  if (inject_faults_ && fault::InjectFault(fault::kSiteIoRead)) {
+    return Fail(Status::IoError(StrFormat(
+        "injected fault at io.read (tag %u, '%s')", expect_tag,
+        path_.c_str())));
+  }
   uint32_t tag = 0;
   uint64_t len = 0;
   const uint64_t record_start = file_offset_;

@@ -54,8 +54,15 @@ class TensorWriter {
  public:
   /// Opens `path` for writing and emits the header. `format_version`
   /// exists for tests that need to produce version-mismatched files.
+  /// `inject_faults` opts this writer into the NERGLOB_FAULT sites
+  /// io.open_write / io.write (docs/RELIABILITY.md); it is set only on
+  /// paths owned by the robustness layer (io::WriteFileAtomically and the
+  /// checkpoint/bundle writers above it), where an injected IoError is
+  /// absorbed by io::RetryPolicy — raw writers stay injection-free so a
+  /// chaos run never perturbs unrelated file IO.
   explicit TensorWriter(const std::string& path,
-                        uint32_t format_version = kFormatVersion);
+                        uint32_t format_version = kFormatVersion,
+                        bool inject_faults = false);
 
   TensorWriter(const TensorWriter&) = delete;
   TensorWriter& operator=(const TensorWriter&) = delete;
@@ -84,6 +91,7 @@ class TensorWriter {
   std::string buf_;     // payload of the record under construction
   Status status_;
   bool finished_ = false;
+  bool inject_faults_ = false;
 };
 
 /// Reads one artifact file record by record. `NextRecord(expect_tag)`
@@ -94,7 +102,10 @@ class TensorWriter {
 /// (and the record against the remaining file) before any allocation.
 class TensorReader {
  public:
-  explicit TensorReader(const std::string& path);
+  /// `inject_faults` opts this reader into the NERGLOB_FAULT sites
+  /// io.open_read / io.read — same contract as the TensorWriter flag: set
+  /// only by restore/recovery paths that retry or fall back on failure.
+  explicit TensorReader(const std::string& path, bool inject_faults = false);
 
   TensorReader(const TensorReader&) = delete;
   TensorReader& operator=(const TensorReader&) = delete;
@@ -136,6 +147,7 @@ class TensorReader {
   std::string payload_;       // current record
   size_t cursor_ = 0;         // next unread byte within payload_
   Status status_;
+  bool inject_faults_ = false;
 };
 
 }  // namespace nerglob::io

@@ -6,9 +6,12 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/fault_injector.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "io/checkpoint_io.h"
 #include "io/tensor_io.h"
 
 namespace nerglob::serve {
@@ -59,7 +62,11 @@ SessionManager::SessionManager(const core::ModelBundle* bundle,
   rejected_counter_ = registry.GetCounter("serve.rejected_total");
   processed_counter_ = registry.GetCounter("serve.processed_batches_total");
   messages_counter_ = registry.GetCounter("serve.processed_messages_total");
+  checkpoints_counter_ = registry.GetCounter("serve.checkpoints_total");
+  checkpoint_failures_counter_ =
+      registry.GetCounter("serve.checkpoint_failures_total");
   sessions_gauge_ = registry.GetGauge("serve.sessions");
+  quarantined_gauge_ = registry.GetGauge("serve.quarantined_sessions");
   latency_histogram_ =
       registry.GetHistogram("serve.enqueue_to_complete_seconds",
                             LatencyBounds());
@@ -124,6 +131,11 @@ Status SessionManager::Close(const std::string& stream_id) {
   // before freeing it. Submit is blocked on sessions_mu_, so no new work
   // can arrive in between.
   AwaitSessionIdle(it->second.get());
+  if (it->second->quarantined.load(std::memory_order_acquire)) {
+    const uint64_t count =
+        quarantined_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    quarantined_gauge_->Set(static_cast<double>(count));
+  }
   sessions_.erase(it);
   sessions_gauge_->Set(static_cast<double>(sessions_.size()));
   return Status::OK();
@@ -144,6 +156,18 @@ Status SessionManager::Submit(const std::string& stream_id,
         StrFormat("no session '%s'", stream_id.c_str()));
   }
   SessionEntry* entry = it->second.get();
+  if (entry->quarantined.load(std::memory_order_acquire)) {
+    return Status::DataLoss(StrFormat(
+        "session '%s' is quarantined after a processing failure; its state "
+        "is untrusted — Close it and restore from the last checkpoint",
+        stream_id.c_str()));
+  }
+  if (fault::InjectFault(fault::kSiteServeEnqueue)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_counter_->Increment();
+    return Status::Unavailable(StrFormat(
+        "injected fault at serve.enqueue (session '%s')", stream_id.c_str()));
+  }
   Shard& shard = *shards_[entry->shard];
   {
     std::lock_guard<std::mutex> shard_lock(shard.mu);
@@ -199,21 +223,39 @@ void SessionManager::WorkerLoop(Shard* shard) {
       if (shard->queue.size() <= low_watermark_) shard->overloaded = false;
       shard->depth_gauge->Set(static_cast<double>(shard->queue.size()));
     }
-    {
-      // The session is safe to touch without a lock: it is pinned to this
-      // shard, this shard has exactly one worker, and control-plane
-      // callers wait for entry->pending == 0 before touching it.
-      trace::TraceSpan span(kServeBatchStage);
-      item.entry->session.ProcessBatch(item.batch);
+    // The session is safe to touch without a lock: it is pinned to this
+    // shard, this shard has exactly one worker, and control-plane callers
+    // wait for entry->pending == 0 before touching it. A processing
+    // failure quarantines this one session; the worker (and every
+    // co-tenant session) keeps serving.
+    bool processed = false;
+    if (!item.entry->quarantined.load(std::memory_order_acquire)) {
+      if (fault::InjectFault(fault::kSiteServeProcess)) {
+        QuarantineSession(item.entry, "injected fault at serve.process");
+      } else {
+        trace::TraceSpan span(kServeBatchStage);
+        try {
+          item.entry->session.ProcessBatch(item.batch);
+          processed = true;
+        } catch (const std::exception& e) {
+          QuarantineSession(item.entry, e.what());
+        } catch (...) {
+          QuarantineSession(item.entry, "unknown exception in ProcessBatch");
+        }
+      }
     }
-    processed_batches_.fetch_add(1, std::memory_order_relaxed);
-    processed_messages_.fetch_add(item.batch.size(), std::memory_order_relaxed);
-    if (metrics::Enabled()) {
-      processed_counter_->Increment();
-      messages_counter_->Increment(item.batch.size());
-      latency_histogram_->Observe(
-          std::chrono::duration<double>(MonotonicClock::now() - item.enqueued)
-              .count());
+    if (processed) {
+      processed_batches_.fetch_add(1, std::memory_order_relaxed);
+      processed_messages_.fetch_add(item.batch.size(),
+                                    std::memory_order_relaxed);
+      if (metrics::Enabled()) {
+        processed_counter_->Increment();
+        messages_counter_->Increment(item.batch.size());
+        latency_histogram_->Observe(
+            std::chrono::duration<double>(MonotonicClock::now() -
+                                          item.enqueued)
+                .count());
+      }
     }
     {
       std::lock_guard<std::mutex> drain_lock(drain_mu_);
@@ -222,6 +264,14 @@ void SessionManager::WorkerLoop(Shard* shard) {
     }
     drain_cv_.notify_all();
   }
+}
+
+void SessionManager::QuarantineSession(SessionEntry* entry, const char* why) {
+  if (entry->quarantined.exchange(true, std::memory_order_acq_rel)) return;
+  const uint64_t count = quarantined_.fetch_add(1, std::memory_order_relaxed) + 1;
+  quarantined_gauge_->Set(static_cast<double>(count));
+  NERGLOB_LOG(kWarning) << "quarantining session '" << entry->id
+                        << "' after processing failure: " << why;
 }
 
 void SessionManager::AwaitSessionIdle(SessionEntry* entry) {
@@ -276,6 +326,11 @@ Status SessionManager::Flush(const std::string& stream_id) {
         StrFormat("no session '%s'", stream_id.c_str()));
   }
   AwaitSessionIdle(it->second.get());
+  if (it->second->quarantined.load(std::memory_order_acquire)) {
+    return Status::DataLoss(StrFormat(
+        "session '%s' is quarantined; its state is untrusted",
+        stream_id.c_str()));
+  }
   it->second->session.Flush();
   return Status::OK();
 }
@@ -288,7 +343,11 @@ void SessionManager::FlushAll() {
     std::unique_lock<std::mutex> drain_lock(drain_mu_);
     drain_cv_.wait(drain_lock, [&] { return pending_ == 0; });
   }
-  for (auto& [id, entry] : sessions_) entry->session.Flush();
+  for (auto& [id, entry] : sessions_) {
+    if (!entry->quarantined.load(std::memory_order_acquire)) {
+      entry->session.Flush();
+    }
+  }
 }
 
 Result<std::vector<core::FinalizedMessage>> SessionManager::TakeFinalized(
@@ -302,6 +361,11 @@ Result<std::vector<core::FinalizedMessage>> SessionManager::TakeFinalized(
   // Quiesce this session so the worker's last ProcessBatch (and its
   // finalized output) happens-before our read.
   AwaitSessionIdle(it->second.get());
+  if (it->second->quarantined.load(std::memory_order_acquire)) {
+    return Status::DataLoss(StrFormat(
+        "session '%s' is quarantined; its state is untrusted",
+        stream_id.c_str()));
+  }
   return it->second->session.TakeFinalized();
 }
 
@@ -311,29 +375,157 @@ Status SessionManager::CheckpointAll(const std::string& dir) {
     std::unique_lock<std::mutex> drain_lock(drain_mu_);
     drain_cv_.wait(drain_lock, [&] { return pending_ == 0; });
   }
+  namespace fs = std::filesystem;
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  fs::create_directories(dir, ec);
   if (ec) {
+    checkpoint_failures_counter_->Increment();
     return Status::IoError(StrFormat("cannot create '%s': %s", dir.c_str(),
                                      ec.message().c_str()));
   }
-  // Manifest first: session ids -> checkpoint files, in sorted-id order
-  // (sessions_ is an ordered map) so the fleet checkpoint is deterministic.
-  io::TensorWriter writer(dir + "/manifest.ngm");
-  writer.PutU64(sessions_.size());
-  std::vector<std::pair<const SessionEntry*, std::string>> files;
-  files.reserve(sessions_.size());
+  const uint64_t generation = io::NextGeneration(dir);
+  const std::string final_dir = dir + "/" + io::GenerationDirName(generation);
+  const std::string staging = final_dir + ".tmp";
+  auto failed = [&](Status s) {
+    checkpoint_failures_counter_->Increment();
+    std::error_code cleanup_ec;
+    fs::remove_all(staging, cleanup_ec);  // best-effort; .tmp is ignorable
+    return s;
+  };
+  fs::create_directories(staging, ec);
+  if (ec) {
+    return failed(Status::IoError(StrFormat(
+        "cannot create '%s': %s", staging.c_str(), ec.message().c_str())));
+  }
+  // Session files first, manifest last: a generation directory without a
+  // valid manifest is by definition uncommitted debris, so the manifest
+  // write is the per-generation commit point. Sorted-id order (sessions_
+  // is an ordered map) keeps the fleet checkpoint deterministic.
+  // Quarantined sessions are skipped — their state is untrusted.
+  std::vector<std::pair<std::string, std::string>> entries;  // id -> file
   for (const auto& [id, entry] : sessions_) {
-    std::string file = StrFormat("session_%zu.ckpt", files.size());
-    writer.PutString(id);
-    writer.PutString(file);
-    files.emplace_back(entry.get(), std::move(file));
+    if (entry->quarantined.load(std::memory_order_acquire)) {
+      NERGLOB_LOG(kWarning) << "CheckpointAll: skipping quarantined session '"
+                            << id << "'";
+      continue;
+    }
+    std::string file = StrFormat("session_%zu.ckpt", entries.size());
+    Status s = entry->session.Checkpoint(staging + "/" + file);
+    if (!s.ok()) return failed(std::move(s));
+    entries.emplace_back(id, std::move(file));
   }
-  NERGLOB_RETURN_IF_ERROR(writer.EndRecord(io::kTagServeManifest));
-  NERGLOB_RETURN_IF_ERROR(writer.Finish());
-  for (const auto& [entry, file] : files) {
-    NERGLOB_RETURN_IF_ERROR(entry->session.Checkpoint(dir + "/" + file));
+  Status s = io::WriteFileAtomically(
+      staging + "/manifest.ngm", [&](io::TensorWriter* writer) -> Status {
+        if (fault::InjectFault(fault::kSiteCkptManifestCommit)) {
+          return Status::IoError(StrFormat(
+              "injected fault at ckpt.manifest_commit (generation %llu)",
+              static_cast<unsigned long long>(generation)));
+        }
+        writer->PutU64(entries.size());
+        for (const auto& [id, file] : entries) {
+          writer->PutString(id);
+          writer->PutString(file);
+        }
+        return writer->EndRecord(io::kTagServeManifest);
+      });
+  if (!s.ok()) return failed(std::move(s));
+  // Commit: durably rename the staged generation to its final name. From
+  // here on RestoreAll/RecoverLatest will see it.
+  s = io::RetryPolicy::FromEnv().Run(final_dir.c_str(), [&]() -> Status {
+    NERGLOB_RETURN_IF_ERROR(io::FsyncDir(staging));
+    if (fault::InjectFault(fault::kSiteCkptRename)) {
+      return Status::IoError(StrFormat(
+          "injected fault at ckpt.rename (generation commit '%s')",
+          final_dir.c_str()));
+    }
+    std::error_code rename_ec;
+    fs::rename(staging, final_dir, rename_ec);
+    if (rename_ec) {
+      return Status::IoError(StrFormat("rename('%s' -> '%s') failed: %s",
+                                       staging.c_str(), final_dir.c_str(),
+                                       rename_ec.message().c_str()));
+    }
+    return io::FsyncDir(dir);
+  });
+  if (!s.ok()) return failed(std::move(s));
+  checkpoints_counter_->Increment();
+  PruneGenerations(dir);
+  return Status::OK();
+}
+
+void SessionManager::PruneGenerations(const std::string& dir) const {
+  if (config_.checkpoint_retain == 0) return;
+  std::vector<uint64_t> generations = io::ListGenerations(dir);
+  if (generations.size() <= config_.checkpoint_retain) return;
+  generations.resize(generations.size() - config_.checkpoint_retain);
+  for (const uint64_t g : generations) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir + "/" + io::GenerationDirName(g), ec);
+    if (ec) {
+      NERGLOB_LOG(kWarning) << "failed pruning checkpoint generation " << g
+                            << " under '" << dir << "': " << ec.message();
+    }
   }
+}
+
+Status SessionManager::RestoreManifestLocked(const std::string& dir) {
+  const std::string manifest_path = dir + "/manifest.ngm";
+  // Manifest parse is retried as a whole: a transient read failure (or an
+  // injected io.open_read/io.read fault) restarts it with nothing staged.
+  struct ManifestEntry {
+    std::string id;
+    std::string file;
+  };
+  std::vector<ManifestEntry> manifest;
+  Status s = io::RetryPolicy::FromEnv().Run(
+      manifest_path.c_str(), [&]() -> Status {
+        manifest.clear();
+        io::TensorReader reader(manifest_path, /*inject_faults=*/true);
+        NERGLOB_RETURN_IF_ERROR(reader.NextRecord(io::kTagServeManifest));
+        auto fail = [&](const char* what) {
+          return reader.status().ok()
+                     ? Status::InvalidArgument(
+                           StrFormat("'%s': corrupt serve manifest (%s)",
+                                     manifest_path.c_str(), what))
+                     : reader.status();
+        };
+        uint64_t count = 0;
+        if (!reader.GetU64(&count) || count > reader.RemainingInRecord()) {
+          return fail("count");
+        }
+        for (uint64_t i = 0; i < count; ++i) {
+          ManifestEntry entry;
+          if (!reader.GetString(&entry.id) || !reader.GetString(&entry.file)) {
+            return fail("entry");
+          }
+          if (entry.file.empty() ||
+              entry.file.find('/') != std::string::npos ||
+              entry.file.find("..") != std::string::npos) {
+            return fail("checkpoint filename");
+          }
+          manifest.push_back(std::move(entry));
+        }
+        return reader.ExpectRecordEnd();
+      });
+  NERGLOB_RETURN_IF_ERROR(s);
+  // Two-phase: restore every session into a staging map, commit only when
+  // every file validates — a bad file leaves the manager unchanged.
+  std::map<std::string, std::unique_ptr<SessionEntry>> staged;
+  for (const ManifestEntry& m : manifest) {
+    if (sessions_.count(m.id) > 0 || staged.count(m.id) > 0) {
+      return Status::AlreadyExists(
+          StrFormat("session '%s' from '%s' is already open", m.id.c_str(),
+                    manifest_path.c_str()));
+    }
+    auto entry = std::make_unique<SessionEntry>(m.id, ShardOf(m.id), bundle_,
+                                                SessionConfig());
+    NERGLOB_RETURN_IF_ERROR(entry->session.Restore(dir + "/" + m.file));
+    staged.emplace(m.id, std::move(entry));
+  }
+  for (auto& [id, entry] : staged) {
+    sessions_.emplace(id, std::move(entry));
+  }
+  sessions_gauge_->Set(static_cast<double>(sessions_.size()));
   return Status::OK();
 }
 
@@ -342,48 +534,50 @@ Status SessionManager::RestoreAll(const std::string& dir) {
   if (!accepting_) {
     return Status::FailedPrecondition("SessionManager is shut down");
   }
-  const std::string manifest_path = dir + "/manifest.ngm";
-  io::TensorReader reader(manifest_path);
-  NERGLOB_RETURN_IF_ERROR(reader.NextRecord(io::kTagServeManifest));
-  auto fail = [&](const char* what) {
-    return reader.status().ok()
-               ? Status::InvalidArgument(
-                     StrFormat("'%s': corrupt serve manifest (%s)",
-                               manifest_path.c_str(), what))
-               : reader.status();
-  };
-  uint64_t count = 0;
-  if (!reader.GetU64(&count) || count > reader.RemainingInRecord()) {
-    return fail("count");
+  const std::vector<uint64_t> generations = io::ListGenerations(dir);
+  if (generations.empty()) {
+    // Pre-generation checkpoints put manifest.ngm directly in `dir`.
+    return RestoreManifestLocked(dir);
   }
-  // Two-phase: restore every session into a staging map, commit only when
-  // the whole manifest validates — a bad file leaves the manager unchanged.
-  std::map<std::string, std::unique_ptr<SessionEntry>> staged;
-  for (uint64_t i = 0; i < count; ++i) {
-    std::string id, file;
-    if (!reader.GetString(&id) || !reader.GetString(&file)) {
-      return fail("entry");
-    }
-    if (file.empty() || file.find('/') != std::string::npos ||
-        file.find("..") != std::string::npos) {
-      return fail("checkpoint filename");
-    }
-    if (sessions_.count(id) > 0 || staged.count(id) > 0) {
-      return Status::AlreadyExists(
-          StrFormat("session '%s' from '%s' is already open", id.c_str(),
-                    manifest_path.c_str()));
-    }
-    auto entry = std::make_unique<SessionEntry>(id, ShardOf(id), bundle_,
-                                                SessionConfig());
-    NERGLOB_RETURN_IF_ERROR(entry->session.Restore(dir + "/" + file));
-    staged.emplace(id, std::move(entry));
+  return RestoreManifestLocked(
+      dir + "/" + io::GenerationDirName(generations.back()));
+}
+
+Status SessionManager::RecoverLatest(const std::string& dir,
+                                     uint64_t* generation) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (!accepting_) {
+    return Status::FailedPrecondition("SessionManager is shut down");
   }
-  NERGLOB_RETURN_IF_ERROR(reader.ExpectRecordEnd());
-  for (auto& [id, entry] : staged) {
-    sessions_.emplace(id, std::move(entry));
+  std::vector<uint64_t> generations = io::ListGenerations(dir);
+  if (generations.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(dir + "/manifest.ngm", ec)) {
+      NERGLOB_RETURN_IF_ERROR(RestoreManifestLocked(dir));
+      if (generation != nullptr) *generation = 0;
+      return Status::OK();
+    }
+    return Status::NotFound(
+        StrFormat("no checkpoint found under '%s'", dir.c_str()));
   }
-  sessions_gauge_->Set(static_cast<double>(sessions_.size()));
-  return Status::OK();
+  Status last;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string gen_dir = dir + "/" + io::GenerationDirName(*it);
+    Status s = RestoreManifestLocked(gen_dir);
+    if (s.ok()) {
+      if (generation != nullptr) *generation = *it;
+      return Status::OK();
+    }
+    if (s.code() == StatusCode::kAlreadyExists) return s;
+    NERGLOB_LOG(kWarning) << "RecoverLatest: generation " << *it << " under '"
+                          << dir << "' is invalid (" << s.ToString()
+                          << "); falling back";
+    last = std::move(s);
+  }
+  return Status::DataLoss(StrFormat(
+      "'%s': %zu checkpoint generation(s) present but none is valid; last "
+      "error: %s",
+      dir.c_str(), generations.size(), last.ToString().c_str()));
 }
 
 SessionManagerStats SessionManager::stats() const {
@@ -394,6 +588,11 @@ SessionManagerStats SessionManager::stats() const {
   s.processed_messages = processed_messages_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   s.open_sessions = sessions_.size();
+  for (const auto& [id, entry] : sessions_) {
+    if (entry->quarantined.load(std::memory_order_acquire)) {
+      ++s.quarantined_sessions;
+    }
+  }
   return s;
 }
 

@@ -44,6 +44,10 @@ struct SessionManagerConfig {
   /// low == 0 then means "must fully drain".)
   size_t high_watermark = 0;
   size_t low_watermark = 0;
+  /// Committed checkpoint generations kept per CheckpointAll directory.
+  /// After a successful commit, older `gen-*` directories beyond the
+  /// newest `checkpoint_retain` are pruned (best-effort). 0 keeps all.
+  size_t checkpoint_retain = 3;
   /// Pipeline configuration applied to every session; typical callers
   /// start from core::DefaultPipelineConfig(bundle) and set a window.
   core::NerGlobalizerConfig pipeline;
@@ -56,6 +60,7 @@ struct SessionManagerStats {
   uint64_t processed_batches = 0;  ///< completed by a shard worker
   uint64_t processed_messages = 0;
   size_t open_sessions = 0;
+  size_t quarantined_sessions = 0;  ///< poisoned sessions still held open
 };
 
 /// SessionManager: the multi-session serving runtime. Shards N independent
@@ -80,6 +85,16 @@ struct SessionManagerStats {
 /// until drained to the low watermark; callers retry later or shed load.
 /// Queues are bounded in batches, so manager memory is bounded by
 /// num_shards * queue_capacity * batch size on top of the session windows.
+///
+/// Graceful degradation: a worker that hits a processing failure for one
+/// session (an escaped exception, or an injected serve.process fault)
+/// *quarantines* that session instead of taking down the fleet. A
+/// quarantined session stays open but inert: Submit/Flush/TakeFinalized
+/// return Status::DataLoss, queued batches for it are dropped, and
+/// CheckpointAll skips it; Close still works. The
+/// `serve.quarantined_sessions` gauge and stats().quarantined_sessions
+/// expose the count. Co-tenant sessions — including others on the same
+/// shard — are unaffected (docs/RELIABILITY.md).
 ///
 /// Thread-safety: Submit/Drain/TakeFinalized/stats may be called from any
 /// thread. Control-plane calls that reshape the fleet (Open/Close/
@@ -110,6 +125,7 @@ class SessionManager {
   /// Enqueues one batch for `stream_id`'s shard. Never blocks.
   ///   NotFound            — no such session
   ///   Unavailable         — shard overloaded (admission control; retry)
+  ///   DataLoss            — session is quarantined (see class comment)
   ///   FailedPrecondition  — manager shut down
   ///   InvalidArgument     — empty batch
   Status Submit(const std::string& stream_id, std::vector<stream::Message> batch);
@@ -133,29 +149,54 @@ class SessionManager {
 
   /// Waits for the session to go idle, then finalizes its live window
   /// (StreamingSession::Flush) so TakeFinalized returns a complete stream.
+  /// DataLoss if the session is quarantined.
   Status Flush(const std::string& stream_id);
 
   /// Drain() + Flush for every open session.
   void FlushAll();
 
   /// Waits for the session to go idle, then moves its finalized
-  /// predictions out (stream order, each message exactly once).
+  /// predictions out (stream order, each message exactly once). DataLoss
+  /// if the session is quarantined.
   Result<std::vector<core::FinalizedMessage>> TakeFinalized(
       const std::string& stream_id);
 
-  /// Drains, then checkpoints the whole fleet into `dir`: one
-  /// `manifest.ngm` (kTagServeManifest: session ids -> files) plus one
-  /// StreamingSession checkpoint per session. Deterministic: sessions are
-  /// written in sorted-id order. Uncollected finalized output is part of
-  /// each session's checkpoint, so nothing is lost across a stop/resume.
+  /// Drains, then checkpoints the whole fleet into a fresh generation
+  /// directory `dir/gen-%08u/`: one StreamingSession checkpoint per
+  /// session plus a `manifest.ngm` (kTagServeManifest: session ids ->
+  /// files) committed *last*. Crash-safe end to end (docs/RELIABILITY.md):
+  /// the generation is staged as `gen-N.tmp`, every file inside is written
+  /// via temp + fsync + atomic rename, and the staging directory is
+  /// renamed to its final name only after the manifest lands — so a crash
+  /// at any point leaves prior generations untouched and the torn one
+  /// ignorable. Deterministic: sessions are written in sorted-id order.
+  /// Quarantined sessions are skipped (their state is untrusted).
+  /// Uncollected finalized output is part of each session's checkpoint, so
+  /// nothing is lost across a stop/resume. After a successful commit,
+  /// generations beyond config.checkpoint_retain are pruned.
   Status CheckpointAll(const std::string& dir);
 
-  /// Restores a CheckpointAll directory, opening one session per manifest
-  /// entry. Two-phase: any corrupt, truncated, or config/fingerprint-
-  /// mismatched file fails the whole call and leaves the manager without
-  /// any of the manifest's sessions. Fails if a manifest id is already
-  /// open. The restored fleet continues every stream bit-identically.
+  /// Restores the *newest committed generation* under `dir` (or, for
+  /// pre-generation checkpoints, a flat `dir/manifest.ngm` layout),
+  /// opening one session per manifest entry. Strict: a corrupt newest
+  /// generation fails the call — use RecoverLatest to fall back. Two-phase:
+  /// any corrupt, truncated, or config/fingerprint-mismatched file fails
+  /// the whole call and leaves the manager without any of the manifest's
+  /// sessions. Fails if a manifest id is already open. The restored fleet
+  /// continues every stream bit-identically.
   Status RestoreAll(const std::string& dir);
+
+  /// Crash-recovery entry point: walks the generations under `dir` from
+  /// newest to oldest and restores the first fully-valid one, logging and
+  /// skipping generations with missing/corrupt files (the debris a crash
+  /// mid-CheckpointAll can leave). On success `*generation` (if non-null)
+  /// receives the restored generation number. Returns NotFound if `dir`
+  /// holds no checkpoint at all, DataLoss if generations exist but none
+  /// validates, AlreadyExists immediately (no fallback) if a manifest id
+  /// collides with an open session. Falls back to the legacy flat layout
+  /// (generation 0) when no `gen-*` directory exists but `dir/manifest.ngm`
+  /// does.
+  Status RecoverLatest(const std::string& dir, uint64_t* generation = nullptr);
 
   SessionManagerStats stats() const;
   size_t num_shards() const { return shards_.size(); }
@@ -178,6 +219,9 @@ class SessionManager {
     stream::StreamingSession session;
     /// Batches queued or in flight for this session; guarded by drain_mu_.
     size_t pending = 0;
+    /// Set (never cleared) by a worker that failed processing a batch for
+    /// this session; read by the data plane to fail fast with DataLoss.
+    std::atomic<bool> quarantined{false};
   };
 
   struct WorkItem {
@@ -200,6 +244,13 @@ class SessionManager {
   /// that makes the session safe to touch from the calling thread).
   void AwaitSessionIdle(SessionEntry* entry);
   stream::StreamingSessionConfig SessionConfig() const;
+  /// Marks the entry quarantined (idempotent) and updates the gauge.
+  void QuarantineSession(SessionEntry* entry, const char* why);
+  /// Restores the manifest-described fleet in `dir` into sessions_.
+  /// Caller holds sessions_mu_. Strict and two-phase.
+  Status RestoreManifestLocked(const std::string& dir);
+  /// Removes committed generations beyond config_.checkpoint_retain.
+  void PruneGenerations(const std::string& dir) const;
 
   const core::ModelBundle* bundle_;
   SessionManagerConfig config_;
@@ -226,12 +277,16 @@ class SessionManager {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> processed_batches_{0};
   std::atomic<uint64_t> processed_messages_{0};
+  std::atomic<uint64_t> quarantined_{0};
 
   metrics::Counter* submitted_counter_;
   metrics::Counter* rejected_counter_;
   metrics::Counter* processed_counter_;
   metrics::Counter* messages_counter_;
+  metrics::Counter* checkpoints_counter_;
+  metrics::Counter* checkpoint_failures_counter_;
   metrics::Gauge* sessions_gauge_;
+  metrics::Gauge* quarantined_gauge_;
   metrics::Histogram* latency_histogram_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

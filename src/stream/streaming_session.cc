@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "io/checkpoint_io.h"
 #include "io/tensor_io.h"
 
 namespace nerglob::stream {
@@ -79,7 +80,12 @@ std::vector<core::FinalizedMessage> StreamingSession::TakeFinalized() {
 }
 
 Status StreamingSession::Checkpoint(const std::string& path) const {
-  io::TensorWriter writer(path);
+  return io::WriteFileAtomically(
+      path, [this](io::TensorWriter* writer) { return CheckpointTo(writer); });
+}
+
+Status StreamingSession::CheckpointTo(io::TensorWriter* writer_ptr) const {
+  io::TensorWriter& writer = *writer_ptr;
   writer.PutU64(batches_);
   writer.PutU64(messages_);
   writer.PutU32(flushed_ ? 1 : 0);
@@ -94,12 +100,23 @@ Status StreamingSession::Checkpoint(const std::string& path) const {
     }
   }
   NERGLOB_RETURN_IF_ERROR(writer.EndRecord(io::kTagSession));
-  NERGLOB_RETURN_IF_ERROR(pipeline_.Checkpoint(&writer));
-  return writer.Finish();
+  return pipeline_.Checkpoint(&writer);
 }
 
 Status StreamingSession::Restore(const std::string& path) {
-  io::TensorReader reader(path);
+  // Whole-file retry: a transient read failure (or an injected
+  // io.open_read / io.read fault) restarts the restore; RestoreFrom's
+  // two-phase commit guarantees a failed attempt left *this untouched.
+  return io::RetryPolicy::FromEnv().Run(
+      "StreamingSession::Restore", [&]() -> Status {
+        io::TensorReader reader(path, /*inject_faults=*/true);
+        return RestoreFrom(&reader);
+      });
+}
+
+Status StreamingSession::RestoreFrom(io::TensorReader* reader_ptr) {
+  io::TensorReader& reader = *reader_ptr;
+  const std::string& path = reader.path();
   NERGLOB_RETURN_IF_ERROR(reader.NextRecord(io::kTagSession));
   auto fail = [&](const char* what) {
     return reader.status().ok()

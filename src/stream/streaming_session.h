@@ -10,6 +10,11 @@
 #include "core/ner_globalizer.h"
 #include "stream/message.h"
 
+namespace nerglob::io {
+class TensorReader;
+class TensorWriter;
+}  // namespace nerglob::io
+
 namespace nerglob::stream {
 
 /// Knobs for a bounded-memory streaming run.
@@ -101,13 +106,25 @@ class StreamingSession {
   /// and the pipeline's checkpoint — to `path`. A session restored from
   /// the file continues the stream bit-identically: its finalized output
   /// and Predictions() at every PipelineStage match an uninterrupted run.
+  /// Crash-safe: the file is written via temp + fsync + atomic rename
+  /// (io::WriteFileAtomically) with transient IO failures retried, so a
+  /// crash mid-checkpoint leaves the previous bytes at `path`, never a
+  /// torn file (docs/RELIABILITY.md).
   Status Checkpoint(const std::string& path) const;
 
   /// Restores a checkpoint written by Checkpoint. Two-phase at every
   /// layer: a corrupt, truncated, or mismatched file returns non-OK and
-  /// leaves this session untouched. The session must have been built with
-  /// the same models/bundle and config as the one that checkpointed.
+  /// leaves this session untouched. Transient read failures are retried
+  /// (io::RetryPolicy). The session must have been built with the same
+  /// models/bundle and config as the one that checkpointed.
   Status Restore(const std::string& path);
+
+  /// Streams the checkpoint records into an already-open writer / out of
+  /// an already-open reader — the building blocks CheckpointAll-style
+  /// fleet checkpoints compose with their own framing and atomicity.
+  /// RestoreFrom has the same two-phase commit contract as Restore.
+  Status CheckpointTo(io::TensorWriter* writer) const;
+  Status RestoreFrom(io::TensorReader* reader);
 
   size_t batches_processed() const { return batches_; }
   size_t messages_processed() const { return messages_; }
