@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   }
   for (int t = 0; t < data::kNumTopics; ++t) {
     if (!routed[static_cast<size_t>(t)].empty()) {
-      per_topic[static_cast<size_t>(t)].ProcessAll(routed[static_cast<size_t>(t)], 256);
+      per_topic[static_cast<size_t>(t)].ProcessAll(routed[static_cast<size_t>(t)]);
     }
     std::printf("topic %-14s: %zu messages routed\n",
                 data::TopicName(static_cast<data::Topic>(t)),
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
 
   // Baseline: one shared pipeline over the whole firehose.
   core::NerGlobalizer shared(&system.bundle, config);
-  shared.ProcessAll(firehose, 256);
+  shared.ProcessAll(firehose);
   auto shared_scores = eval::EvaluateNer(gold, shared.Predictions());
 
   std::printf("\nmacro-F1 on the mixed firehose:\n");

@@ -1,0 +1,91 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace nerglob::env {
+
+namespace {
+
+/// One warn line per bad read. Uses the logging layer so the prefix and
+/// level filtering match every other diagnostic; EnvString never calls
+/// this, which keeps logging's own NERGLOB_LOG_LEVEL read free of any
+/// re-entrant initialization.
+void WarnBadValue(const char* name, const char* raw, const char* why,
+                  const std::string& fallback_text) {
+  NERGLOB_LOG(kWarning) << name << "='" << raw << "' " << why
+                        << "; using default " << fallback_text;
+}
+
+}  // namespace
+
+int64_t EnvInt(const char* name, int64_t fallback, int64_t min_value,
+               int64_t max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    WarnBadValue(name, raw, "is not an integer", std::to_string(fallback));
+    return fallback;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    WarnBadValue(name, raw,
+                 ("is outside [" + std::to_string(min_value) + ", " +
+                  std::to_string(max_value) + "]")
+                     .c_str(),
+                 std::to_string(fallback));
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvFloat(const char* name, double fallback, double min_value,
+                double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    WarnBadValue(name, raw, "is not a number", std::to_string(fallback));
+    return fallback;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    WarnBadValue(name, raw,
+                 ("is outside [" + std::to_string(min_value) + ", " +
+                  std::to_string(max_value) + "]")
+                     .c_str(),
+                 std::to_string(fallback));
+    return fallback;
+  }
+  return parsed;
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  for (const char* yes : {"1", "true", "on", "yes"}) {
+    if (std::strcmp(raw, yes) == 0) return true;
+  }
+  for (const char* no : {"0", "false", "off", "no"}) {
+    if (std::strcmp(raw, no) == 0) return false;
+  }
+  WarnBadValue(name, raw, "is not a boolean (1/true/on/yes or 0/false/off/no)",
+               fallback ? "true" : "false");
+  return fallback;
+}
+
+std::string EnvString(const char* name, const std::string& fallback,
+                      bool empty_is_unset) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  if (empty_is_unset && raw[0] == '\0') return fallback;
+  return raw;
+}
+
+}  // namespace nerglob::env

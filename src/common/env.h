@@ -1,0 +1,46 @@
+#ifndef NERGLOB_COMMON_ENV_H_
+#define NERGLOB_COMMON_ENV_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace nerglob::env {
+
+/// Typed access to the NERGLOB_* environment knobs. Every reader in the
+/// tree goes through these helpers so the parse/validation/fallback
+/// behavior is uniform: a malformed or out-of-range value is reported once
+/// to stderr (warn-and-default — never a crash, never a silent ignore) and
+/// the documented default is used instead. README's operations table is the
+/// knob inventory; bench/check_docs.py gates it against the source.
+///
+/// All helpers read the process environment on every call; callers that
+/// need a stable snapshot (thread pool sizing, queue capacities) latch the
+/// first result in a static, exactly like the pre-helper code did.
+
+/// Integer knob clamped to [min_value, max_value]. Returns `fallback` (and
+/// warns) when the value is unset-and-fallback, non-numeric, has trailing
+/// garbage, or violates the range.
+int64_t EnvInt(const char* name, int64_t fallback, int64_t min_value,
+               int64_t max_value = std::numeric_limits<int64_t>::max());
+
+/// Floating-point knob clamped to [min_value, max_value]; same
+/// warn-and-default contract as EnvInt.
+double EnvFloat(const char* name, double fallback, double min_value,
+                double max_value = std::numeric_limits<double>::max());
+
+/// Boolean knob: "1"/"true"/"on"/"yes" => true, "0"/"false"/"off"/"no" =>
+/// false (case-sensitive, matching the historical NERGLOB_METRICS values);
+/// anything else warns and returns `fallback`.
+bool EnvBool(const char* name, bool fallback);
+
+/// String knob; unset (or empty when `empty_is_unset`) returns `fallback`.
+/// No validation — callers owning enum-like knobs (NERGLOB_SIMD,
+/// NERGLOB_LOG_LEVEL, NERGLOB_FAULT) parse the string themselves and keep
+/// their own site-specific error handling.
+std::string EnvString(const char* name, const std::string& fallback,
+                      bool empty_is_unset = true);
+
+}  // namespace nerglob::env
+
+#endif  // NERGLOB_COMMON_ENV_H_

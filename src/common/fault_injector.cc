@@ -1,8 +1,10 @@
 #include "common/fault_injector.h"
 
 #include <cstdlib>
+#include <string>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -25,9 +27,9 @@ FaultInjector& FaultInjector::Global() {
 }
 
 FaultInjector::FaultInjector() {
-  const char* env = std::getenv("NERGLOB_FAULT");
-  if (env == nullptr || *env == '\0') return;
-  Status s = ArmFromSpec(env);
+  const std::string spec = env::EnvString("NERGLOB_FAULT", "");
+  if (spec.empty()) return;
+  Status s = ArmFromSpec(spec);
   // A chaos run with a typo'd spec would silently test nothing; fail hard.
   NERGLOB_CHECK(s.ok()) << "invalid NERGLOB_FAULT spec: " << s.ToString();
 }

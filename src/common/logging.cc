@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "common/env.h"
 
 namespace nerglob {
 
@@ -11,11 +13,20 @@ namespace {
 
 std::atomic<int>& LevelStore() {
   static std::atomic<int> level{[] {
-    const char* env = std::getenv("NERGLOB_LOG_LEVEL");
-    if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
-    if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
-    if (std::strcmp(env, "warning") == 0) return static_cast<int>(LogLevel::kWarning);
-    if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    // EnvString never logs, which matters here: warning about a malformed
+    // value would re-enter LevelStore() mid-initialization. An unknown
+    // level name is reported (via bare fprintf for the same reason) and
+    // falls back to info.
+    const std::string env = env::EnvString("NERGLOB_LOG_LEVEL", "info");
+    if (env == "debug") return static_cast<int>(LogLevel::kDebug);
+    if (env == "warning") return static_cast<int>(LogLevel::kWarning);
+    if (env == "error") return static_cast<int>(LogLevel::kError);
+    if (env != "info") {
+      std::fprintf(stderr,
+                   "[WARN logging.cc] NERGLOB_LOG_LEVEL='%s' is not one of "
+                   "debug|info|warning|error; using default info\n",
+                   env.c_str());
+    }
     return static_cast<int>(LogLevel::kInfo);
   }()};
   return level;

@@ -8,17 +8,13 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/env.h"
 
 namespace nerglob::metrics {
 
 namespace {
 
-bool EnvEnabled() {
-  const char* env = std::getenv("NERGLOB_METRICS");
-  if (env == nullptr) return false;
-  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
-         std::strcmp(env, "on") == 0;
-}
+bool EnvEnabled() { return env::EnvBool("NERGLOB_METRICS", false); }
 
 std::atomic<bool>& EnabledFlag() {
   static std::atomic<bool> flag{EnvEnabled()};

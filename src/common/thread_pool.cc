@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/metrics.h"
 
 namespace nerglob {
@@ -19,14 +20,8 @@ size_t HardwareDefault() {
 }
 
 size_t EnvDefault() {
-  const char* env = std::getenv("NERGLOB_THREADS");
-  if (env != nullptr) {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && value >= 1) {
-      return static_cast<size_t>(value);
-    }
-  }
+  const int64_t value = env::EnvInt("NERGLOB_THREADS", 0, 1, 4096);
+  if (value >= 1) return static_cast<size_t>(value);
   return HardwareDefault();
 }
 

@@ -38,38 +38,47 @@ std::vector<LocalNer::Output> LocalNer::ProcessBatch(
   static const trace::TraceStage kStage("local_ner");
   trace::TraceSpan span(kStage);
   // Phase 1 (parallel): the per-sentence encoder forwards dominate the cost
-  // and are independent, so they fan out over the thread pool. Results land
-  // in a pre-sized vector indexed by batch position, which keeps them in
+  // and are independent, so they fan out over the thread pool (one
+  // ParallelFor lane per sentence inside EncodeMany). Results come back in
   // input order regardless of scheduling.
-  std::vector<lm::EncodeResult> encoded_batch(batch.size());
-  ParallelFor(0, batch.size(), /*grain=*/1, [&](size_t i) {
-    if (!batch[i].tokens.empty()) {
-      encoded_batch[i] = model_->Encode(batch[i].tokens);
-    }
-  });
+  std::vector<const std::vector<text::Token>*> sentences;
+  sentences.reserve(batch.size());
+  for (const stream::Message& message : batch) {
+    sentences.push_back(&message.tokens);
+  }
+  std::vector<lm::EncodeResult> encoded_batch = model_->EncodeMany(sentences);
+  return IngestEncodedBatch(batch, &encoded_batch, tweet_base, trie);
+}
 
-  // Phase 2 (serial merge, input order): TweetBase puts and trie inserts
-  // happen exactly as in a sequential pass, so new-surface discovery order
-  // and all downstream state are independent of the thread count.
-  std::vector<Output> outputs;
+std::vector<LocalNer::Output> IngestEncodedBatch(
+    const std::vector<stream::Message>& batch,
+    std::vector<lm::EncodeResult>* encoded, stream::TweetBase* tweet_base,
+    trie::CandidateTrie* trie) {
+  NERGLOB_CHECK_EQ(encoded->size(), batch.size());
+  std::vector<lm::EncodeResult>& encoded_batch = *encoded;
+  // Serial merge, input order: TweetBase puts and trie inserts happen
+  // exactly as in a sequential pass, so new-surface discovery order and
+  // all downstream state are independent of the thread count (and of the
+  // encode batching).
+  std::vector<LocalNer::Output> outputs;
   outputs.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const stream::Message& message = batch[i];
-    Output out;
+    LocalNer::Output out;
     out.message_id = message.id;
     if (message.tokens.empty()) {
       outputs.push_back(std::move(out));
       continue;
     }
-    lm::EncodeResult& encoded = encoded_batch[i];
+    lm::EncodeResult& result = encoded_batch[i];
 
     stream::SentenceRecord record;
     record.message = message;
-    record.token_embeddings = std::move(encoded.embeddings);
-    record.local_bio = encoded.bio_labels;
+    record.token_embeddings = std::move(result.embeddings);
+    record.local_bio = result.bio_labels;
     tweet_base->Put(std::move(record));
 
-    out.local_spans = text::DecodeBio(encoded.bio_labels);
+    out.local_spans = text::DecodeBio(result.bio_labels);
     for (const text::EntitySpan& span : out.local_spans) {
       auto tokens = SpanMatchTokens(message, span.begin_token, span.end_token);
       if (trie->Insert(tokens)) {
@@ -88,7 +97,7 @@ std::vector<LocalNer::Output> LocalNer::ProcessBatch(
     static metrics::Counter* const new_surfaces =
         registry.GetCounter("pipeline.new_surfaces_total");
     size_t span_count = 0, surface_count = 0;
-    for (const Output& out : outputs) {
+    for (const LocalNer::Output& out : outputs) {
       span_count += out.local_spans.size();
       surface_count += out.new_surfaces.size();
     }

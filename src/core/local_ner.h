@@ -41,6 +41,9 @@ class LocalNer {
   /// registers seed surface forms in `trie`. Cost: one transformer forward
   /// per message — O(batch · tokens² · d_model) — dominating everything
   /// downstream; messages are distributed over the worker pool.
+  /// Equivalent to model().EncodeMany over the batch followed by
+  /// IngestEncodedBatch — the composition the stage graph (core/stages.h)
+  /// makes explicit so the encode half can be batched across sessions.
   std::vector<Output> ProcessBatch(const std::vector<stream::Message>& batch,
                                    stream::TweetBase* tweet_base,
                                    trie::CandidateTrie* trie) const;
@@ -50,6 +53,17 @@ class LocalNer {
  private:
   const lm::MicroBert* model_;
 };
+
+/// The serial ingest half of local NER: merges pre-computed encode results
+/// into the TweetBase/CTrie in input order (so new-surface discovery order
+/// and all downstream state are independent of how — and where — the
+/// encoding ran). `(*encoded)[i]` must be the encoder output for
+/// `batch[i].tokens` (default-constructed for empty messages); its
+/// embeddings are consumed (moved into the stored SentenceRecords).
+std::vector<LocalNer::Output> IngestEncodedBatch(
+    const std::vector<stream::Message>& batch,
+    std::vector<lm::EncodeResult>* encoded, stream::TweetBase* tweet_base,
+    trie::CandidateTrie* trie);
 
 /// The matching-form token sequence of a span ("andy beshear" tokens).
 std::vector<std::string> SpanMatchTokens(const stream::Message& message,

@@ -4,54 +4,16 @@
 #include <set>
 #include <unordered_set>
 
-#include "cluster/agglomerative.h"
 #include "common/check.h"
 #include "common/metrics.h"
-#include "common/scratch_arena.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "core/stages.h"
 #include "io/tensor_io.h"
 
 namespace nerglob::core {
 
-namespace {
-
-/// Pools larger than this are clustered on a prefix sample; the remaining
-/// mentions join the nearest cluster centroid. Keeps the O(n^3) linkage
-/// bounded for head entities with thousands of mentions.
-constexpr size_t kMaxClusterPool = 64;
-
-/// Greedy longest-first overlap resolution within one sentence.
-std::vector<text::EntitySpan> ResolveOverlaps(std::vector<text::EntitySpan> spans) {
-  std::sort(spans.begin(), spans.end(),
-            [](const text::EntitySpan& a, const text::EntitySpan& b) {
-              const size_t la = a.end_token - a.begin_token;
-              const size_t lb = b.end_token - b.begin_token;
-              if (la != lb) return la > lb;
-              if (a.begin_token != b.begin_token) return a.begin_token < b.begin_token;
-              return static_cast<int>(a.type) < static_cast<int>(b.type);
-            });
-  std::vector<text::EntitySpan> kept;
-  for (const auto& span : spans) {
-    bool overlaps = false;
-    for (const auto& k : kept) {
-      if (span.begin_token < k.end_token && k.begin_token < span.end_token) {
-        overlaps = true;
-        break;
-      }
-    }
-    if (!overlaps) kept.push_back(span);
-  }
-  std::sort(kept.begin(), kept.end(),
-            [](const text::EntitySpan& a, const text::EntitySpan& b) {
-              return a.begin_token < b.begin_token;
-            });
-  return kept;
-}
-
-}  // namespace
 
 const char* PipelineStageName(PipelineStage stage) {
   switch (stage) {
@@ -80,8 +42,7 @@ NerGlobalizer::NerGlobalizer(const lm::MicroBert* model,
     : model_(model),
       embedder_(embedder),
       classifier_(classifier),
-      config_(config),
-      local_ner_(model) {
+      config_(config) {
   NERGLOB_CHECK(embedder != nullptr);
   NERGLOB_CHECK(classifier != nullptr);
   NERGLOB_CHECK(config.cluster_threshold < 1.0f)
@@ -157,48 +118,48 @@ Status NerGlobalizer::Restore(io::TensorReader* reader) {
 }
 
 void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
+  RunStages(batch, {}, /*pre_encoded=*/false);
+}
+
+void NerGlobalizer::ProcessBatchPreEncoded(
+    const std::vector<stream::Message>& batch,
+    std::vector<lm::EncodeResult> encoded) {
+  NERGLOB_CHECK_EQ(encoded.size(), batch.size());
+  RunStages(batch, std::move(encoded), /*pre_encoded=*/true);
+}
+
+void NerGlobalizer::RunStages(const std::vector<stream::Message>& batch,
+                              std::vector<lm::EncodeResult> encoded,
+                              bool pre_encoded) {
   static const trace::TraceStage kStage("process_batch");
   trace::TraceSpan batch_span(kStage);
   WallTimer batch_timer;
 
-  // Ids of sentences that existed before this batch (for the delta rescan).
-  std::vector<int64_t> old_ids = state_.tweet_base.ids();
+  const stages::ModelView view{model_, embedder_, classifier_};
+  stages::StageContext ctx;
+  ctx.config = &config_;
+  ctx.batch = &batch;
+  ctx.encoded = std::move(encoded);
+  ctx.pre_encoded = pre_encoded;
 
+  // The local/global split (Table IV's execution-time columns): LocalEncode
+  // + IngestLocal are the Local NER step, everything after is Global NER.
+  // A pre-encoded batch charges only the ingest here — its encode time was
+  // spent (and attributed to serve_encode) by the batching caller. One
+  // local_ner span per batch, whichever path ran (pipeline_test pins this).
   WallTimer local_timer;
-  std::vector<LocalNer::Output> outputs =
-      local_ner_.ProcessBatch(batch, &state_.tweet_base, &state_.trie);
+  {
+    static const trace::TraceStage kLocalStage("local_ner");
+    trace::TraceSpan local_span(kLocalStage);
+    stages::LocalEncode(view, state_, ctx);
+    stages::IngestLocal(view, state_, ctx);
+  }
   local_seconds_ += local_timer.ElapsedSeconds();
 
   WallTimer global_timer;
-  // Delta trie: the surface forms first seen in this batch. Previously
-  // processed sentences only need rescanning against these.
-  trie::CandidateTrie delta;
-  std::vector<int64_t> new_ids;
-  for (const LocalNer::Output& out : outputs) {
-    if (state_.tweet_base.Find(out.message_id) != nullptr) new_ids.push_back(out.message_id);
-    for (const std::string& surface : out.new_surfaces) {
-      delta.Insert(SplitChar(surface, ' '));
-    }
-    // Record local-type votes for the mention-extraction ablation stage,
-    // and seed support for the eviction bookkeeping: every live local span
-    // counts one unit of support for its surface form. Eviction decrements
-    // symmetrically by re-decoding the stored BIO labels.
-    const stream::SentenceRecord* rec = state_.tweet_base.Find(out.message_id);
-    for (const text::EntitySpan& span : out.local_spans) {
-      const std::string surface =
-          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
-      ++state_.local_type_votes[surface][static_cast<size_t>(span.type)];
-      ++state_.seed_support[surface];
-    }
-  }
-
-  ExtractMentionsInto(new_ids, state_.trie);
-  if (delta.size() > 0) ExtractMentionsInto(old_ids, delta);
-  RefreshCandidates();
-  if (config_.window_messages > 0 &&
-      state_.tweet_base.size() > config_.window_messages) {
-    EvictToWindow();
-  }
+  stages::ExtractMentions(view, state_, ctx);
+  stages::RefreshCandidates(view, state_, ctx);
+  stages::Evict(view, state_, ctx);
   global_seconds_ += global_timer.ElapsedSeconds();
 
   if (metrics::Enabled()) {
@@ -212,357 +173,13 @@ void NerGlobalizer::ProcessBatch(const std::vector<stream::Message>& batch) {
 
 void NerGlobalizer::ProcessAll(const std::vector<stream::Message>& messages,
                                size_t batch_size) {
+  if (batch_size == 0) batch_size = config_.process_batch_size;
   NERGLOB_CHECK_GT(batch_size, 0u);
   for (size_t i = 0; i < messages.size(); i += batch_size) {
     const size_t end = std::min(messages.size(), i + batch_size);
     ProcessBatch(std::vector<stream::Message>(
         messages.begin() + static_cast<std::ptrdiff_t>(i),
         messages.begin() + static_cast<std::ptrdiff_t>(end)));
-  }
-}
-
-void NerGlobalizer::ExtractMentionsInto(const std::vector<int64_t>& ids,
-                                        const trie::CandidateTrie& trie,
-                                        bool dedup) {
-  if (trie.size() == 0) return;
-  static const trace::TraceStage kStage("mention_extraction");
-  trace::TraceSpan span(kStage);
-  // The embed cache only pays for itself when eviction can trigger
-  // re-extraction of already-embedded spans; unbounded streams never
-  // revisit a span, so they skip the cache (and its memory) entirely.
-  const bool use_cache = config_.window_messages > 0;
-
-  // Phase 1 (parallel): per-sentence trie scans and phrase embeddings are
-  // independent reads of the TweetBase (and read-only lookups of the embed
-  // cache), so they fan out over the thread pool. Found mentions land in a
-  // per-id slot, preserving sentence order.
-  struct Found {
-    std::string surface;
-    stream::MentionRecord mention;
-    bool cache_hit = false;
-  };
-  std::vector<std::vector<Found>> found(ids.size());
-  ParallelFor(0, ids.size(), /*grain=*/4, [&](size_t idx) {
-    const int64_t id = ids[idx];
-    const stream::SentenceRecord* record = state_.tweet_base.Find(id);
-    if (record == nullptr || record->message.tokens.empty()) return;
-    std::vector<std::string> match_tokens;
-    match_tokens.reserve(record->message.tokens.size());
-    for (const auto& tok : record->message.tokens) match_tokens.push_back(tok.match);
-
-    for (const trie::TokenSpan& span :
-         trie.FindLongestMatches(match_tokens, config_.max_mention_span)) {
-      // Mentions truncated away by the encoder have no embeddings; skip.
-      if (span.begin >= record->token_embeddings.rows()) continue;
-      const size_t emb_end = std::min(span.end, record->token_embeddings.rows());
-      Found f;
-      f.mention.message_id = id;
-      f.mention.begin_token = span.begin;
-      f.mention.end_token = span.end;
-      f.surface = SpanSurfaceString(record->message, span.begin, span.end);
-      if (dedup && state_.candidate_base.ContainsMention(f.surface, id, span.begin,
-                                                   span.end)) {
-        continue;
-      }
-      if (use_cache) {
-        auto it = state_.embed_cache.find(SpanKey{id, span.begin, span.end});
-        if (it != state_.embed_cache.end()) {
-          f.mention.local_embedding = it->second;
-          f.cache_hit = true;
-        }
-      }
-      if (!f.cache_hit) {
-        // Retained state: the embedding outlives this batch in the
-        // CandidateBase (and cache), so it owns heap storage; EmbedInto
-        // keeps every intermediate in the worker's scratch arena.
-        embedder_->EmbedInto(record->token_embeddings, span.begin, emb_end,
-                             &f.mention.local_embedding);
-      }
-      found[idx].push_back(std::move(f));
-    }
-  });
-
-  // Phase 2 (serial merge, sentence order): AddMention assigns mention ids
-  // by arrival, so merging in id order keeps the CandidateBase identical to
-  // a sequential pass for any thread count. Cache inserts also happen here
-  // so phase 1 only ever reads the cache map.
-  std::unordered_set<std::string> touched;
-  size_t mention_count = 0;
-  size_t hits = 0, misses = 0;
-  for (std::vector<Found>& per_id : found) {
-    mention_count += per_id.size();
-    for (Found& f : per_id) {
-      if (use_cache) {
-        if (f.cache_hit) {
-          ++hits;
-        } else {
-          ++misses;
-          state_.embed_cache.emplace(
-              SpanKey{f.mention.message_id, f.mention.begin_token,
-                      f.mention.end_token},
-              f.mention.local_embedding);
-        }
-      }
-      state_.candidate_base.AddMention(f.surface, std::move(f.mention));
-      touched.insert(std::move(f.surface));
-    }
-  }
-  for (const auto& surface : touched) state_.dirty_surfaces.push_back(surface);
-  state_.embed_cache_hits += hits;
-  state_.embed_cache_misses += misses;
-
-  if (metrics::Enabled()) {
-    auto& registry = metrics::MetricsRegistry::Global();
-    static metrics::Counter* const mentions =
-        registry.GetCounter("pipeline.mentions_extracted_total");
-    static metrics::Counter* const scans =
-        registry.GetCounter("pipeline.trie_scans_total");
-    mentions->Increment(mention_count);
-    scans->Increment(ids.size());
-    if (use_cache) {
-      static metrics::Counter* const cache_hits =
-          registry.GetCounter("stream.cache_hits");
-      static metrics::Counter* const cache_misses =
-          registry.GetCounter("stream.cache_misses");
-      cache_hits->Increment(hits);
-      cache_misses->Increment(misses);
-    }
-  }
-}
-
-std::vector<stream::CandidateEntry> NerGlobalizer::BuildCandidates(
-    const std::string& surface) const {
-  const auto& pool = state_.candidate_base.Mentions(surface);
-  if (pool.empty()) return {};
-  const size_t n = pool.size();
-  const size_t dim = pool[0].local_embedding.cols();
-
-  // Cluster a bounded prefix; assign the tail to the nearest centroid.
-  // The cluster span wraps all of candidate building; the classifier calls
-  // below open nested "classify" spans, so stage.cluster.self_seconds is
-  // clustering-only time while wall_seconds is the whole build.
-  static const trace::TraceStage kClusterStage("cluster");
-  trace::TraceSpan cluster_span(kClusterStage);
-  const size_t head = std::min(n, kMaxClusterPool);
-  common::ScratchFrame frame(&common::ScratchArena::ThreadLocal());
-  Matrix* head_embs = frame.Get(head, dim);
-  for (size_t i = 0; i < head; ++i) {
-    std::copy(pool[i].local_embedding.Row(0),
-              pool[i].local_embedding.Row(0) + dim, head_embs->Row(i));
-  }
-  cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
-      *head_embs, config_.cluster_threshold);
-
-  std::vector<std::vector<size_t>> members(clustering.num_clusters);
-  for (size_t i = 0; i < head; ++i) {
-    members[static_cast<size_t>(clustering.assignments[i])].push_back(i);
-  }
-  if (n > head) {
-    // Centroids of the head clusters.
-    std::vector<Matrix> centroids(clustering.num_clusters, Matrix(1, dim));
-    for (size_t c = 0; c < clustering.num_clusters; ++c) {
-      for (size_t i : members[c]) {
-        centroids[c].AddInPlace(pool[i].local_embedding);
-      }
-      centroids[c].Scale(1.0f / static_cast<float>(members[c].size()));
-    }
-    for (size_t i = head; i < n; ++i) {
-      size_t best = 0;
-      float best_dist = CosineDistance(pool[i].local_embedding, centroids[0]);
-      for (size_t c = 1; c < clustering.num_clusters; ++c) {
-        const float d = CosineDistance(pool[i].local_embedding, centroids[c]);
-        if (d < best_dist) {
-          best_dist = d;
-          best = c;
-        }
-      }
-      members[best].push_back(i);
-    }
-  }
-
-  std::vector<stream::CandidateEntry> entries;
-  entries.reserve(members.size());
-  for (const auto& cluster_members : members) {
-    if (cluster_members.empty()) continue;
-    // Inner frame so every cluster reuses one slot regardless of size.
-    common::ScratchFrame cluster_frame(frame.arena());
-    Matrix* member_embs = cluster_frame.Get(cluster_members.size(), dim);
-    for (size_t j = 0; j < cluster_members.size(); ++j) {
-      std::copy(pool[cluster_members[j]].local_embedding.Row(0),
-                pool[cluster_members[j]].local_embedding.Row(0) + dim,
-                member_embs->Row(j));
-    }
-    const EntityClassifier::Prediction pred =
-        classifier_->Predict(*member_embs);
-    stream::CandidateEntry entry;
-    entry.surface = surface;
-    entry.mention_ids = cluster_members;
-    entry.is_entity = pred.is_entity();
-    if (pred.is_entity()) entry.type = pred.type();
-    entry.confidence = pred.confidence;
-    entries.push_back(std::move(entry));
-  }
-  if (metrics::Enabled()) {
-    auto& registry = metrics::MetricsRegistry::Global();
-    static metrics::Counter* const clusters =
-        registry.GetCounter("pipeline.clusters_formed_total");
-    static metrics::Counter* const dropped =
-        registry.GetCounter("pipeline.false_positives_dropped_total");
-    size_t non_entity = 0;
-    for (const auto& entry : entries) {
-      if (!entry.is_entity) ++non_entity;
-    }
-    clusters->Increment(entries.size());
-    dropped->Increment(non_entity);
-  }
-  return entries;
-}
-
-void NerGlobalizer::RefreshCandidates() {
-  static const trace::TraceStage kStage("refresh_candidates");
-  trace::TraceSpan span(kStage);
-  if (!config_.incremental_refresh) {
-    // Reference path: rebuild every surface, not just the dirty set. The
-    // per-surface build is a pure function of the mention pool, so this
-    // produces bit-identical candidates while doing strictly more work.
-    state_.dirty_surfaces = state_.candidate_base.surfaces();
-  }
-  std::sort(state_.dirty_surfaces.begin(), state_.dirty_surfaces.end());
-  state_.dirty_surfaces.erase(
-      std::unique(state_.dirty_surfaces.begin(), state_.dirty_surfaces.end()),
-      state_.dirty_surfaces.end());
-
-  // Phase 1 (parallel): per-surface clustering + classification only reads
-  // the CandidateBase. Phase 2 writes the results back serially in sorted
-  // surface order, so the base's state is thread-count independent.
-  std::vector<std::vector<stream::CandidateEntry>> built(state_.dirty_surfaces.size());
-  ParallelFor(0, state_.dirty_surfaces.size(), /*grain=*/1, [&](size_t i) {
-    built[i] = BuildCandidates(state_.dirty_surfaces[i]);
-  });
-  for (size_t i = 0; i < state_.dirty_surfaces.size(); ++i) {
-    // Empty means the surface had no mentions (seed behavior: skip).
-    if (built[i].empty()) continue;
-    state_.candidate_base.SetCandidates(state_.dirty_surfaces[i], std::move(built[i]));
-  }
-  state_.dirty_surfaces.clear();
-}
-
-void NerGlobalizer::EvictToWindow() {
-  static const trace::TraceStage kStage("evict");
-  trace::TraceSpan span(kStage);
-  const size_t count = state_.tweet_base.size() - config_.window_messages;
-  const std::vector<int64_t> evict_order(state_.tweet_base.ids().begin(),
-                                         state_.tweet_base.ids().begin() +
-                                             static_cast<std::ptrdiff_t>(count));
-  const std::unordered_set<int64_t> evicted(evict_order.begin(),
-                                            evict_order.end());
-
-  // 1. Flush the final Global NER output of every departing message while
-  // its candidates are still live (RefreshCandidates just ran, so the
-  // partition reflects everything up to and including this batch).
-  std::unordered_map<int64_t, std::vector<text::EntitySpan>> flushed;
-  for (const std::string& surface : state_.candidate_base.surfaces()) {
-    const auto& pool = state_.candidate_base.Mentions(surface);
-    for (const auto& entry : state_.candidate_base.Candidates(surface)) {
-      if (!entry.is_entity) continue;
-      for (size_t mention_id : entry.mention_ids) {
-        const stream::MentionRecord& m = pool[mention_id];
-        if (evicted.count(m.message_id) == 0) continue;
-        flushed[m.message_id].push_back(
-            {m.begin_token, m.end_token, entry.type});
-      }
-    }
-  }
-  for (int64_t id : evict_order) {
-    state_.finalized.push_back({id, ResolveOverlaps(std::move(flushed[id]))});
-  }
-
-  // 2. Withdraw the departing messages' seed support. Surfaces that drop
-  // to zero are exactly those no live message's local NER would seed — a
-  // from-scratch rebuild of the window would never register them.
-  std::vector<std::string> pruned;
-  for (int64_t id : evict_order) {
-    const stream::SentenceRecord* rec = state_.tweet_base.Find(id);
-    if (rec == nullptr) continue;
-    for (const text::EntitySpan& span : text::DecodeBio(rec->local_bio)) {
-      const std::string surface =
-          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
-      auto votes = state_.local_type_votes.find(surface);
-      if (votes != state_.local_type_votes.end()) {
-        --votes->second[static_cast<size_t>(span.type)];
-      }
-      auto it = state_.seed_support.find(surface);
-      if (it == state_.seed_support.end()) continue;
-      if (--it->second <= 0) {
-        state_.seed_support.erase(it);
-        pruned.push_back(surface);
-      }
-    }
-  }
-  std::sort(pruned.begin(), pruned.end());
-  pruned.erase(std::unique(pruned.begin(), pruned.end()), pruned.end());
-
-  // 3. Live sentences that held a mention of a pruned surface must be
-  // re-scanned: with the longer/other surface gone from the trie, the
-  // greedy longest-match may now recover different (shorter) mentions in
-  // the region it used to cover. Collect them before the pools change.
-  std::vector<int64_t> rescan_ids;
-  for (const std::string& surface : pruned) {
-    for (const stream::MentionRecord& m : state_.candidate_base.Mentions(surface)) {
-      if (evicted.count(m.message_id) == 0) rescan_ids.push_back(m.message_id);
-    }
-  }
-  std::sort(rescan_ids.begin(), rescan_ids.end());
-  rescan_ids.erase(std::unique(rescan_ids.begin(), rescan_ids.end()),
-                   rescan_ids.end());
-
-  // 4. Drop evicted mentions everywhere, then remove pruned surfaces
-  // wholesale (trie entry, pool, candidates, votes).
-  std::vector<std::string> changed = state_.candidate_base.RemoveMentionsOf(evicted);
-  const std::unordered_set<std::string> pruned_set(pruned.begin(), pruned.end());
-  for (const std::string& surface : pruned) {
-    state_.trie.Remove(SplitChar(surface, ' '));
-    state_.candidate_base.RemoveSurface(surface);
-    state_.local_type_votes.erase(surface);
-  }
-
-  // 5. Retire the records themselves and their cache entries.
-  state_.tweet_base.EvictOldest(count);
-  for (auto it = state_.embed_cache.begin(); it != state_.embed_cache.end();) {
-    if (evicted.count(it->first.message_id) > 0) {
-      it = state_.embed_cache.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  state_.evicted_messages += count;
-
-  // 6. Re-scan affected live sentences (dedup: only genuinely new spans
-  // are added; their embeddings come from the cache when possible), then
-  // rebuild every eviction-touched surface so candidates never dangle.
-  ExtractMentionsInto(rescan_ids, state_.trie, /*dedup=*/true);
-  for (const std::string& surface : changed) {
-    if (pruned_set.count(surface) == 0) state_.dirty_surfaces.push_back(surface);
-  }
-  RefreshCandidates();
-
-  if (metrics::Enabled()) {
-    auto& registry = metrics::MetricsRegistry::Global();
-    static metrics::Counter* const evictions =
-        registry.GetCounter("stream.evicted_messages");
-    static metrics::Counter* const pruned_total =
-        registry.GetCounter("stream.pruned_surfaces_total");
-    static metrics::Gauge* const window_messages =
-        registry.GetGauge("stream.window_messages");
-    static metrics::Gauge* const window_surfaces =
-        registry.GetGauge("stream.window_surfaces");
-    static metrics::Gauge* const memory_bytes =
-        registry.GetGauge("stream.memory_bytes");
-    evictions->Increment(count);
-    pruned_total->Increment(pruned.size());
-    window_messages->Set(static_cast<double>(state_.tweet_base.size()));
-    window_surfaces->Set(static_cast<double>(state_.trie.size()));
-    memory_bytes->Set(static_cast<double>(MemoryUsage().total_bytes));
   }
 }
 
@@ -586,7 +203,7 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictio
     const size_t dim = pool[0].local_embedding.cols();
     // One candidate per surface form: pool ALL mentions together
     // (no ambiguity-resolving clustering).
-    const size_t take = std::min(pool.size(), kMaxClusterPool);
+    const size_t take = std::min(pool.size(), stages::kMaxClusterPool);
     Matrix members(take, dim);
     for (size_t i = 0; i < take; ++i) {
       std::copy(pool[i].local_embedding.Row(0),
@@ -599,7 +216,7 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::EmdGlobalizerPredictio
           {mention.begin_token, mention.end_token, text::EntityType::kPerson});
     }
   }
-  for (auto& spans : out) spans = ResolveOverlaps(std::move(spans));
+  for (auto& spans : out) spans = stages::ResolveOverlaps(std::move(spans));
   return out;
 }
 
@@ -663,7 +280,7 @@ std::vector<std::vector<text::EntitySpan>> NerGlobalizer::Predictions(
       break;
     }
   }
-  for (auto& spans : out) spans = ResolveOverlaps(std::move(spans));
+  for (auto& spans : out) spans = stages::ResolveOverlaps(std::move(spans));
   return out;
 }
 

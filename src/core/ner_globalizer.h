@@ -9,6 +9,7 @@
 #include "core/entity_classifier.h"
 #include "core/local_ner.h"
 #include "core/model_bundle.h"
+#include "core/ner_globalizer_config.h"
 #include "core/phrase_embedder.h"
 #include "core/stream_state.h"
 #include "stream/message.h"
@@ -31,27 +32,6 @@ enum class PipelineStage {
 };
 
 const char* PipelineStageName(PipelineStage stage);
-
-struct NerGlobalizerConfig {
-  /// Agglomerative clustering cut (cosine distance; must be < 1, the
-  /// triplet margin — Sec. V-C).
-  float cluster_threshold = 0.6f;
-  /// Mention-extraction lookahead (k following tokens, Sec. V-A).
-  size_t max_mention_span = trie::CandidateTrie::kDefaultMaxSpan;
-  /// Sliding-window size in messages. 0 (default) disables eviction: state
-  /// grows with the stream, exactly the pre-windowing behavior. When > 0,
-  /// each ProcessBatch retires the oldest records beyond the window,
-  /// flushing their final predictions to TakeFinalized(), pruning CTrie
-  /// entries and CandidateBase surfaces whose support in the live window
-  /// drops to zero, and keeping MemoryUsage() bounded.
-  size_t window_messages = 0;
-  /// When true (default) RefreshCandidates re-clusters and re-classifies
-  /// only the surfaces whose mention pool changed this cycle (the dirty
-  /// set). When false every surface is rebuilt every cycle — the reference
-  /// path; both produce bit-identical Predictions() (enforced by test),
-  /// the full path just wastes work re-deriving unchanged candidates.
-  bool incremental_refresh = true;
-};
 
 /// The pipeline config a bundle was tuned with: defaults everywhere except
 /// the clustering cut, which comes from the bundle's training recipe.
@@ -91,16 +71,27 @@ class NerGlobalizer {
   /// checkpoint cannot be restored onto a different architecture.
   NerGlobalizer(const ModelBundle* bundle, NerGlobalizerConfig config);
 
-  /// Processes one batch of the stream (Sec. III execution cycle):
-  /// Local NER, delta mention extraction, dirty-set candidate refresh,
-  /// then (if windowed) eviction + a second refresh of eviction-touched
-  /// surfaces. Cost is O(batch work + dirty surfaces); with a window it is
-  /// independent of how many messages the stream has seen in total.
+  /// Processes one batch of the stream (Sec. III execution cycle) by
+  /// chaining the stage graph (core/stages.h): LocalEncode → IngestLocal →
+  /// ExtractMentions → RefreshCandidates → Evict. Cost is O(batch work +
+  /// dirty surfaces); with a window it is independent of how many messages
+  /// the stream has seen in total.
   void ProcessBatch(const std::vector<stream::Message>& batch);
 
+  /// ProcessBatch with the LocalEncode stage's work supplied by the caller:
+  /// `encoded[i]` must be bitwise what model->Encode(batch[i].tokens) would
+  /// return (default-constructed for empty messages) — the contract
+  /// lm::MicroBert::EncodeMany provides for any cross-session batch
+  /// composition. This is the serve-layer batch scheduler's entry point;
+  /// all downstream state evolves bit-identically to ProcessBatch
+  /// (enforced by test).
+  void ProcessBatchPreEncoded(const std::vector<stream::Message>& batch,
+                              std::vector<lm::EncodeResult> encoded);
+
   /// Convenience: processes `messages` in batches of `batch_size`.
+  /// `batch_size == 0` (the default) uses config().process_batch_size.
   void ProcessAll(const std::vector<stream::Message>& messages,
-                  size_t batch_size = 256);
+                  size_t batch_size = 0);
 
   /// Final spans per live message (stream order), produced by the given
   /// pipeline prefix. kFullGlobal is the system output. With eviction
@@ -165,38 +156,15 @@ class NerGlobalizer {
   const NerGlobalizerConfig& config() const { return config_; }
 
  private:
-  /// Scans `ids` against `trie`, appending new mention records (with local
-  /// embeddings) to the CandidateBase. When `dedup` is set, spans already
-  /// present in their surface's pool are skipped — the eviction rescan
-  /// path, where live sentences are re-scanned after a surface prune.
-  void ExtractMentionsInto(const std::vector<int64_t>& ids,
-                           const trie::CandidateTrie& trie,
-                           bool dedup = false);
-
-  /// Re-clusters and re-classifies every surface form whose pool changed
-  /// (or all surfaces when incremental_refresh is off). Per-surface work
-  /// (clustering + classification) runs in parallel; the CandidateBase
-  /// writes happen serially in sorted-surface order.
-  void RefreshCandidates();
-
-  /// Clusters one surface form's mention pool and classifies each cluster.
-  /// Pure read of the CandidateBase — safe to run concurrently across
-  /// surfaces.
-  std::vector<stream::CandidateEntry> BuildCandidates(
-      const std::string& surface) const;
-
-  /// Retires the oldest records beyond config_.window_messages: flushes
-  /// their final predictions, decrements seed support (pruning CTrie/
-  /// CandidateBase surfaces that drop to zero), drops their mentions and
-  /// cache entries, rescans live sentences affected by pruned surfaces,
-  /// and refreshes every eviction-touched surface.
-  void EvictToWindow();
+  /// The stage-graph driver behind both ProcessBatch entry points. When
+  /// `pre_encoded`, `encoded` is consumed as the LocalEncode product.
+  void RunStages(const std::vector<stream::Message>& batch,
+                 std::vector<lm::EncodeResult> encoded, bool pre_encoded);
 
   const lm::MicroBert* model_;
   const PhraseEmbedder* embedder_;
   const EntityClassifier* classifier_;
   NerGlobalizerConfig config_;
-  LocalNer local_ner_;
   /// Architecture fingerprint stamped into checkpoints; empty when built
   /// from raw component pointers (fingerprint checks are then skipped).
   std::string bundle_fingerprint_;

@@ -1,0 +1,468 @@
+#include "core/stages.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "cluster/agglomerative.h"
+#include "common/metrics.h"
+#include "common/scratch_arena.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+
+namespace nerglob::core::stages {
+
+namespace {
+
+/// Scans `ids` against `trie`, appending new mention records (with local
+/// embeddings) to the CandidateBase. When `dedup` is set, spans already
+/// present in their surface's pool are skipped — the eviction rescan
+/// path, where live sentences are re-scanned after a surface prune.
+void ExtractMentionsInto(const ModelView& view, StreamState& state,
+                         const NerGlobalizerConfig& config,
+                         const std::vector<int64_t>& ids,
+                         const trie::CandidateTrie& trie, bool dedup = false) {
+  if (trie.size() == 0) return;
+  static const trace::TraceStage kStage("mention_extraction");
+  trace::TraceSpan span(kStage);
+  // The embed cache only pays for itself when eviction can trigger
+  // re-extraction of already-embedded spans; unbounded streams never
+  // revisit a span, so they skip the cache (and its memory) entirely.
+  const bool use_cache = config.window_messages > 0;
+
+  // Phase 1 (parallel): per-sentence trie scans and phrase embeddings are
+  // independent reads of the TweetBase (and read-only lookups of the embed
+  // cache), so they fan out over the thread pool. Found mentions land in a
+  // per-id slot, preserving sentence order.
+  struct Found {
+    std::string surface;
+    stream::MentionRecord mention;
+    bool cache_hit = false;
+  };
+  std::vector<std::vector<Found>> found(ids.size());
+  ParallelFor(0, ids.size(), /*grain=*/4, [&](size_t idx) {
+    const int64_t id = ids[idx];
+    const stream::SentenceRecord* record = state.tweet_base.Find(id);
+    if (record == nullptr || record->message.tokens.empty()) return;
+    std::vector<std::string> match_tokens;
+    match_tokens.reserve(record->message.tokens.size());
+    for (const auto& tok : record->message.tokens) match_tokens.push_back(tok.match);
+
+    for (const trie::TokenSpan& span :
+         trie.FindLongestMatches(match_tokens, config.max_mention_span)) {
+      // Mentions truncated away by the encoder have no embeddings; skip.
+      if (span.begin >= record->token_embeddings.rows()) continue;
+      const size_t emb_end = std::min(span.end, record->token_embeddings.rows());
+      Found f;
+      f.mention.message_id = id;
+      f.mention.begin_token = span.begin;
+      f.mention.end_token = span.end;
+      f.surface = SpanSurfaceString(record->message, span.begin, span.end);
+      if (dedup && state.candidate_base.ContainsMention(f.surface, id, span.begin,
+                                                        span.end)) {
+        continue;
+      }
+      if (use_cache) {
+        auto it = state.embed_cache.find(SpanKey{id, span.begin, span.end});
+        if (it != state.embed_cache.end()) {
+          f.mention.local_embedding = it->second;
+          f.cache_hit = true;
+        }
+      }
+      if (!f.cache_hit) {
+        // Retained state: the embedding outlives this batch in the
+        // CandidateBase (and cache), so it owns heap storage; EmbedInto
+        // keeps every intermediate in the worker's scratch arena.
+        view.embedder->EmbedInto(record->token_embeddings, span.begin, emb_end,
+                                 &f.mention.local_embedding);
+      }
+      found[idx].push_back(std::move(f));
+    }
+  });
+
+  // Phase 2 (serial merge, sentence order): AddMention assigns mention ids
+  // by arrival, so merging in id order keeps the CandidateBase identical to
+  // a sequential pass for any thread count. Cache inserts also happen here
+  // so phase 1 only ever reads the cache map.
+  std::unordered_set<std::string> touched;
+  size_t mention_count = 0;
+  size_t hits = 0, misses = 0;
+  for (std::vector<Found>& per_id : found) {
+    mention_count += per_id.size();
+    for (Found& f : per_id) {
+      if (use_cache) {
+        if (f.cache_hit) {
+          ++hits;
+        } else {
+          ++misses;
+          state.embed_cache.emplace(
+              SpanKey{f.mention.message_id, f.mention.begin_token,
+                      f.mention.end_token},
+              f.mention.local_embedding);
+        }
+      }
+      state.candidate_base.AddMention(f.surface, std::move(f.mention));
+      touched.insert(std::move(f.surface));
+    }
+  }
+  for (const auto& surface : touched) state.dirty_surfaces.push_back(surface);
+  state.embed_cache_hits += hits;
+  state.embed_cache_misses += misses;
+
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const mentions =
+        registry.GetCounter("pipeline.mentions_extracted_total");
+    static metrics::Counter* const scans =
+        registry.GetCounter("pipeline.trie_scans_total");
+    mentions->Increment(mention_count);
+    scans->Increment(ids.size());
+    if (use_cache) {
+      static metrics::Counter* const cache_hits =
+          registry.GetCounter("stream.cache_hits");
+      static metrics::Counter* const cache_misses =
+          registry.GetCounter("stream.cache_misses");
+      cache_hits->Increment(hits);
+      cache_misses->Increment(misses);
+    }
+  }
+}
+
+/// Clusters one surface form's mention pool and classifies each cluster.
+/// Pure read of the CandidateBase — safe to run concurrently across
+/// surfaces.
+std::vector<stream::CandidateEntry> BuildCandidates(
+    const ModelView& view, const StreamState& state,
+    const NerGlobalizerConfig& config, const std::string& surface) {
+  const auto& pool = state.candidate_base.Mentions(surface);
+  if (pool.empty()) return {};
+  const size_t n = pool.size();
+  const size_t dim = pool[0].local_embedding.cols();
+
+  // Cluster a bounded prefix; assign the tail to the nearest centroid.
+  // The cluster span wraps all of candidate building; the classifier calls
+  // below open nested "classify" spans, so stage.cluster.self_seconds is
+  // clustering-only time while wall_seconds is the whole build.
+  static const trace::TraceStage kClusterStage("cluster");
+  trace::TraceSpan cluster_span(kClusterStage);
+  const size_t head = std::min(n, kMaxClusterPool);
+  common::ScratchFrame frame(&common::ScratchArena::ThreadLocal());
+  Matrix* head_embs = frame.Get(head, dim);
+  for (size_t i = 0; i < head; ++i) {
+    std::copy(pool[i].local_embedding.Row(0),
+              pool[i].local_embedding.Row(0) + dim, head_embs->Row(i));
+  }
+  cluster::ClusteringResult clustering = cluster::AgglomerativeClusterCosine(
+      *head_embs, config.cluster_threshold);
+
+  std::vector<std::vector<size_t>> members(clustering.num_clusters);
+  for (size_t i = 0; i < head; ++i) {
+    members[static_cast<size_t>(clustering.assignments[i])].push_back(i);
+  }
+  if (n > head) {
+    // Centroids of the head clusters.
+    std::vector<Matrix> centroids(clustering.num_clusters, Matrix(1, dim));
+    for (size_t c = 0; c < clustering.num_clusters; ++c) {
+      for (size_t i : members[c]) {
+        centroids[c].AddInPlace(pool[i].local_embedding);
+      }
+      centroids[c].Scale(1.0f / static_cast<float>(members[c].size()));
+    }
+    for (size_t i = head; i < n; ++i) {
+      size_t best = 0;
+      float best_dist = CosineDistance(pool[i].local_embedding, centroids[0]);
+      for (size_t c = 1; c < clustering.num_clusters; ++c) {
+        const float d = CosineDistance(pool[i].local_embedding, centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      members[best].push_back(i);
+    }
+  }
+
+  std::vector<stream::CandidateEntry> entries;
+  entries.reserve(members.size());
+  for (const auto& cluster_members : members) {
+    if (cluster_members.empty()) continue;
+    // Inner frame so every cluster reuses one slot regardless of size.
+    common::ScratchFrame cluster_frame(frame.arena());
+    Matrix* member_embs = cluster_frame.Get(cluster_members.size(), dim);
+    for (size_t j = 0; j < cluster_members.size(); ++j) {
+      std::copy(pool[cluster_members[j]].local_embedding.Row(0),
+                pool[cluster_members[j]].local_embedding.Row(0) + dim,
+                member_embs->Row(j));
+    }
+    const EntityClassifier::Prediction pred =
+        view.classifier->Predict(*member_embs);
+    stream::CandidateEntry entry;
+    entry.surface = surface;
+    entry.mention_ids = cluster_members;
+    entry.is_entity = pred.is_entity();
+    if (pred.is_entity()) entry.type = pred.type();
+    entry.confidence = pred.confidence;
+    entries.push_back(std::move(entry));
+  }
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const clusters =
+        registry.GetCounter("pipeline.clusters_formed_total");
+    static metrics::Counter* const dropped =
+        registry.GetCounter("pipeline.false_positives_dropped_total");
+    size_t non_entity = 0;
+    for (const auto& entry : entries) {
+      if (!entry.is_entity) ++non_entity;
+    }
+    clusters->Increment(entries.size());
+    dropped->Increment(non_entity);
+  }
+  return entries;
+}
+
+/// Re-clusters and re-classifies every surface form whose pool changed
+/// (or all surfaces when incremental_refresh is off). Per-surface work
+/// (clustering + classification) runs in parallel; the CandidateBase
+/// writes happen serially in sorted-surface order.
+void RefreshCandidatesImpl(const ModelView& view, StreamState& state,
+                           const NerGlobalizerConfig& config) {
+  static const trace::TraceStage kStage("refresh_candidates");
+  trace::TraceSpan span(kStage);
+  if (!config.incremental_refresh) {
+    // Reference path: rebuild every surface, not just the dirty set. The
+    // per-surface build is a pure function of the mention pool, so this
+    // produces bit-identical candidates while doing strictly more work.
+    state.dirty_surfaces = state.candidate_base.surfaces();
+  }
+  std::sort(state.dirty_surfaces.begin(), state.dirty_surfaces.end());
+  state.dirty_surfaces.erase(
+      std::unique(state.dirty_surfaces.begin(), state.dirty_surfaces.end()),
+      state.dirty_surfaces.end());
+
+  // Phase 1 (parallel): per-surface clustering + classification only reads
+  // the CandidateBase. Phase 2 writes the results back serially in sorted
+  // surface order, so the base's state is thread-count independent.
+  std::vector<std::vector<stream::CandidateEntry>> built(state.dirty_surfaces.size());
+  ParallelFor(0, state.dirty_surfaces.size(), /*grain=*/1, [&](size_t i) {
+    built[i] = BuildCandidates(view, state, config, state.dirty_surfaces[i]);
+  });
+  for (size_t i = 0; i < state.dirty_surfaces.size(); ++i) {
+    // Empty means the surface had no mentions (seed behavior: skip).
+    if (built[i].empty()) continue;
+    state.candidate_base.SetCandidates(state.dirty_surfaces[i], std::move(built[i]));
+  }
+  state.dirty_surfaces.clear();
+}
+
+}  // namespace
+
+std::vector<text::EntitySpan> ResolveOverlaps(std::vector<text::EntitySpan> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const text::EntitySpan& a, const text::EntitySpan& b) {
+              const size_t la = a.end_token - a.begin_token;
+              const size_t lb = b.end_token - b.begin_token;
+              if (la != lb) return la > lb;
+              if (a.begin_token != b.begin_token) return a.begin_token < b.begin_token;
+              return static_cast<int>(a.type) < static_cast<int>(b.type);
+            });
+  std::vector<text::EntitySpan> kept;
+  for (const auto& span : spans) {
+    bool overlaps = false;
+    for (const auto& k : kept) {
+      if (span.begin_token < k.end_token && k.begin_token < span.end_token) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) kept.push_back(span);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const text::EntitySpan& a, const text::EntitySpan& b) {
+              return a.begin_token < b.begin_token;
+            });
+  return kept;
+}
+
+void LocalEncode(const ModelView& view, StreamState& state, StageContext& ctx) {
+  (void)state;  // model-only by contract: the encoder reads no stream state
+  if (ctx.pre_encoded) return;
+  std::vector<const std::vector<text::Token>*> sentences;
+  sentences.reserve(ctx.batch->size());
+  for (const stream::Message& message : *ctx.batch) {
+    sentences.push_back(&message.tokens);
+  }
+  ctx.encoded = view.model->EncodeMany(sentences);
+}
+
+void IngestLocal(const ModelView& view, StreamState& state, StageContext& ctx) {
+  (void)view;
+  // Snapshot before this batch lands: these are the sentences that only
+  // need rescanning against the delta trie.
+  ctx.old_ids = state.tweet_base.ids();
+  ctx.outputs = IngestEncodedBatch(*ctx.batch, &ctx.encoded,
+                                   &state.tweet_base, &state.trie);
+  for (const LocalNer::Output& out : ctx.outputs) {
+    if (state.tweet_base.Find(out.message_id) != nullptr) {
+      ctx.new_ids.push_back(out.message_id);
+    }
+    for (const std::string& surface : out.new_surfaces) {
+      ctx.delta.Insert(SplitChar(surface, ' '));
+    }
+    // Record local-type votes for the mention-extraction ablation stage,
+    // and seed support for the eviction bookkeeping: every live local span
+    // counts one unit of support for its surface form. Eviction decrements
+    // symmetrically by re-decoding the stored BIO labels.
+    const stream::SentenceRecord* rec = state.tweet_base.Find(out.message_id);
+    for (const text::EntitySpan& span : out.local_spans) {
+      const std::string surface =
+          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
+      ++state.local_type_votes[surface][static_cast<size_t>(span.type)];
+      ++state.seed_support[surface];
+    }
+  }
+}
+
+void ExtractMentions(const ModelView& view, StreamState& state,
+                     StageContext& ctx) {
+  ExtractMentionsInto(view, state, *ctx.config, ctx.new_ids, state.trie);
+  if (ctx.delta.size() > 0) {
+    ExtractMentionsInto(view, state, *ctx.config, ctx.old_ids, ctx.delta);
+  }
+}
+
+void RefreshCandidates(const ModelView& view, StreamState& state,
+                       StageContext& ctx) {
+  RefreshCandidatesImpl(view, state, *ctx.config);
+}
+
+void Evict(const ModelView& view, StreamState& state, StageContext& ctx) {
+  const NerGlobalizerConfig& config = *ctx.config;
+  if (config.window_messages == 0 ||
+      state.tweet_base.size() <= config.window_messages) {
+    return;
+  }
+  static const trace::TraceStage kStage("evict");
+  trace::TraceSpan span(kStage);
+  const size_t count = state.tweet_base.size() - config.window_messages;
+  const std::vector<int64_t> evict_order(state.tweet_base.ids().begin(),
+                                         state.tweet_base.ids().begin() +
+                                             static_cast<std::ptrdiff_t>(count));
+  const std::unordered_set<int64_t> evicted(evict_order.begin(),
+                                            evict_order.end());
+
+  // 1. Flush the final Global NER output of every departing message while
+  // its candidates are still live (RefreshCandidates just ran, so the
+  // partition reflects everything up to and including this batch).
+  std::unordered_map<int64_t, std::vector<text::EntitySpan>> flushed;
+  for (const std::string& surface : state.candidate_base.surfaces()) {
+    const auto& pool = state.candidate_base.Mentions(surface);
+    for (const auto& entry : state.candidate_base.Candidates(surface)) {
+      if (!entry.is_entity) continue;
+      for (size_t mention_id : entry.mention_ids) {
+        const stream::MentionRecord& m = pool[mention_id];
+        if (evicted.count(m.message_id) == 0) continue;
+        flushed[m.message_id].push_back(
+            {m.begin_token, m.end_token, entry.type});
+      }
+    }
+  }
+  for (int64_t id : evict_order) {
+    state.finalized.push_back({id, ResolveOverlaps(std::move(flushed[id]))});
+  }
+
+  // 2. Withdraw the departing messages' seed support. Surfaces that drop
+  // to zero are exactly those no live message's local NER would seed — a
+  // from-scratch rebuild of the window would never register them.
+  std::vector<std::string> pruned;
+  for (int64_t id : evict_order) {
+    const stream::SentenceRecord* rec = state.tweet_base.Find(id);
+    if (rec == nullptr) continue;
+    for (const text::EntitySpan& span : text::DecodeBio(rec->local_bio)) {
+      const std::string surface =
+          SpanSurfaceString(rec->message, span.begin_token, span.end_token);
+      auto votes = state.local_type_votes.find(surface);
+      if (votes != state.local_type_votes.end()) {
+        --votes->second[static_cast<size_t>(span.type)];
+      }
+      auto it = state.seed_support.find(surface);
+      if (it == state.seed_support.end()) continue;
+      if (--it->second <= 0) {
+        state.seed_support.erase(it);
+        pruned.push_back(surface);
+      }
+    }
+  }
+  std::sort(pruned.begin(), pruned.end());
+  pruned.erase(std::unique(pruned.begin(), pruned.end()), pruned.end());
+
+  // 3. Live sentences that held a mention of a pruned surface must be
+  // re-scanned: with the longer/other surface gone from the trie, the
+  // greedy longest-match may now recover different (shorter) mentions in
+  // the region it used to cover. Collect them before the pools change.
+  std::vector<int64_t> rescan_ids;
+  for (const std::string& surface : pruned) {
+    for (const stream::MentionRecord& m : state.candidate_base.Mentions(surface)) {
+      if (evicted.count(m.message_id) == 0) rescan_ids.push_back(m.message_id);
+    }
+  }
+  std::sort(rescan_ids.begin(), rescan_ids.end());
+  rescan_ids.erase(std::unique(rescan_ids.begin(), rescan_ids.end()),
+                   rescan_ids.end());
+
+  // 4. Drop evicted mentions everywhere, then remove pruned surfaces
+  // wholesale (trie entry, pool, candidates, votes).
+  std::vector<std::string> changed = state.candidate_base.RemoveMentionsOf(evicted);
+  const std::unordered_set<std::string> pruned_set(pruned.begin(), pruned.end());
+  for (const std::string& surface : pruned) {
+    state.trie.Remove(SplitChar(surface, ' '));
+    state.candidate_base.RemoveSurface(surface);
+    state.local_type_votes.erase(surface);
+  }
+
+  // 5. Retire the records themselves and their cache entries.
+  state.tweet_base.EvictOldest(count);
+  for (auto it = state.embed_cache.begin(); it != state.embed_cache.end();) {
+    if (evicted.count(it->first.message_id) > 0) {
+      it = state.embed_cache.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  state.evicted_messages += count;
+
+  // 6. Re-scan affected live sentences (dedup: only genuinely new spans
+  // are added; their embeddings come from the cache when possible), then
+  // rebuild every eviction-touched surface so candidates never dangle.
+  ExtractMentionsInto(view, state, config, rescan_ids, state.trie,
+                      /*dedup=*/true);
+  for (const std::string& surface : changed) {
+    if (pruned_set.count(surface) == 0) state.dirty_surfaces.push_back(surface);
+  }
+  RefreshCandidatesImpl(view, state, config);
+
+  if (metrics::Enabled()) {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter* const evictions =
+        registry.GetCounter("stream.evicted_messages");
+    static metrics::Counter* const pruned_total =
+        registry.GetCounter("stream.pruned_surfaces_total");
+    static metrics::Gauge* const window_messages =
+        registry.GetGauge("stream.window_messages");
+    static metrics::Gauge* const window_surfaces =
+        registry.GetGauge("stream.window_surfaces");
+    static metrics::Gauge* const memory_bytes =
+        registry.GetGauge("stream.memory_bytes");
+    evictions->Increment(count);
+    pruned_total->Increment(pruned.size());
+    window_messages->Set(static_cast<double>(state.tweet_base.size()));
+    window_surfaces->Set(static_cast<double>(state.trie.size()));
+    memory_bytes->Set(static_cast<double>(state.MemoryUsage().total_bytes));
+  }
+}
+
+}  // namespace nerglob::core::stages

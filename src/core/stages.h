@@ -1,0 +1,124 @@
+#ifndef NERGLOB_CORE_STAGES_H_
+#define NERGLOB_CORE_STAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/local_ner.h"
+#include "core/ner_globalizer_config.h"
+#include "core/stream_state.h"
+#include "lm/micro_bert.h"
+#include "stream/message.h"
+#include "text/bio.h"
+#include "trie/candidate_trie.h"
+
+namespace nerglob::core {
+class PhraseEmbedder;
+class EntityClassifier;
+}  // namespace nerglob::core
+
+namespace nerglob::core::stages {
+
+/// The explicit stage graph behind NerGlobalizer::ProcessBatch (Fig. 2):
+///
+///   LocalEncode ─▶ IngestLocal ─▶ ExtractMentions ─▶ RefreshCandidates ─▶ Evict
+///   (model-only)  (state writes begin here ────────────────────────────────▶)
+///
+/// Every stage is a free function with the uniform signature
+/// `(const ModelView&, StreamState&, StageContext&)`. The split exists for
+/// one load-bearing property: **LocalEncode is the only stage that runs the
+/// expensive encoder forward, and it touches neither the StreamState nor
+/// the StageContext's cross-stage products** — its output is a pure
+/// function of (model, message tokens). That makes it batchable across
+/// sessions: serve::SessionManager's scheduler runs LocalEncode's work for
+/// many sessions in one lm::MicroBert::EncodeMany call and injects the
+/// results via StageContext::pre_encoded, and every downstream stage is
+/// bitwise unaffected (enforced by pipeline_test and serve_test).
+///
+/// The issue's nominal signature takes `const ModelBundle&`; stages take a
+/// ModelView instead because NerGlobalizer also supports construction from
+/// raw component pointers (no bundle object exists to reference) — the view
+/// is the greatest common denominator of both constructors
+/// (docs/ARCHITECTURE.md §9).
+struct ModelView {
+  const lm::MicroBert* model = nullptr;
+  const PhraseEmbedder* embedder = nullptr;
+  const EntityClassifier* classifier = nullptr;
+};
+
+/// Per-batch products flowing between stages. A fresh context is built for
+/// every ProcessBatch; nothing in it outlives the batch (all cross-batch
+/// state lives in StreamState).
+struct StageContext {
+  /// Pipeline configuration (borrowed from the driving NerGlobalizer).
+  const NerGlobalizerConfig* config = nullptr;
+  /// The batch being processed (borrowed; message order is stream order).
+  const std::vector<stream::Message>* batch = nullptr;
+
+  /// LocalEncode product: encoded[i] is the encoder output for
+  /// (*batch)[i].tokens (default-constructed for empty messages). When
+  /// `pre_encoded` is set the driver injected these results (the serve
+  /// cross-session batch scheduler) and LocalEncode is a no-op; the
+  /// contract is that injected entries are bitwise equal to what
+  /// model->Encode would produce, which EncodeMany guarantees for any
+  /// batch composition.
+  std::vector<lm::EncodeResult> encoded;
+  bool pre_encoded = false;
+
+  /// IngestLocal products.
+  std::vector<LocalNer::Output> outputs;
+  /// Ids of sentences that existed before this batch (delta-rescan input).
+  std::vector<int64_t> old_ids;
+  /// Ids of this batch's sentences now present in the TweetBase.
+  std::vector<int64_t> new_ids;
+  /// Surface forms first seen in this batch; old sentences are rescanned
+  /// against only these.
+  trie::CandidateTrie delta;
+};
+
+/// Stage 1 — the per-message, model-only stage: runs the encoder forward
+/// for every message in ctx.batch into ctx.encoded (via EncodeMany, so the
+/// results are bitwise independent of how messages are batched). Reads no
+/// StreamState; writes none. No-op when ctx.pre_encoded.
+void LocalEncode(const ModelView& view, StreamState& state, StageContext& ctx);
+
+/// Stage 2 — serial ingest of the encode results, in stream order:
+/// snapshots ctx.old_ids, stores SentenceRecords in the TweetBase, seeds
+/// the CTrie with locally-detected surface forms, and accumulates
+/// local-type votes / seed support / the delta trie. First state-mutating
+/// stage.
+void IngestLocal(const ModelView& view, StreamState& state, StageContext& ctx);
+
+/// Stage 3 — mention extraction (Sec. III step 3): scans the new sentences
+/// against the full trie and the old sentences against the delta trie,
+/// appending mention records (with phrase embeddings) to the CandidateBase
+/// and marking touched surfaces dirty.
+void ExtractMentions(const ModelView& view, StreamState& state,
+                     StageContext& ctx);
+
+/// Stage 4 — clustering + classification of every dirty surface form
+/// (all surfaces when config->incremental_refresh is off).
+void RefreshCandidates(const ModelView& view, StreamState& state,
+                       StageContext& ctx);
+
+/// Stage 5 — windowed eviction: retires the oldest records beyond
+/// config->window_messages (flushing their final predictions to
+/// state.finalized), prunes unsupported surfaces, rescans affected live
+/// sentences, and refreshes eviction-touched candidates. No-op when the
+/// window is unbounded or not yet exceeded.
+void Evict(const ModelView& view, StreamState& state, StageContext& ctx);
+
+/// Pools larger than this are clustered on a prefix sample; the remaining
+/// mentions join the nearest cluster centroid. Keeps the O(n^3) linkage
+/// bounded for head entities with thousands of mentions. (Shared with the
+/// EMD-Globalizer baseline pooling in NerGlobalizer.)
+inline constexpr size_t kMaxClusterPool = 64;
+
+/// Greedy longest-first overlap resolution within one sentence (used by
+/// Evict's finalization flush and NerGlobalizer's prediction readers).
+std::vector<text::EntitySpan> ResolveOverlaps(
+    std::vector<text::EntitySpan> spans);
+
+}  // namespace nerglob::core::stages
+
+#endif  // NERGLOB_CORE_STAGES_H_

@@ -1,12 +1,13 @@
 #include "harness/experiment.h"
 
 #include <array>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -122,18 +123,14 @@ BuildOptions TinyTestOptions() {
 }
 
 double DefaultScale() {
-  if (const char* env = std::getenv("NERGLOB_SCALE"); env != nullptr) {
-    const double v = std::atof(env);
-    if (v > 0.0 && v <= 1.0) return v;
-  }
-  return 0.25;
+  return env::EnvFloat("NERGLOB_SCALE", 0.25,
+                       std::numeric_limits<double>::min(), 1.0);
 }
 
 std::string DefaultCacheDir() {
-  if (const char* env = std::getenv("NERGLOB_CACHE_DIR"); env != nullptr) {
-    return std::string(env) == "none" ? std::string() : std::string(env);
-  }
-  return "nerglob_cache";
+  const std::string dir = env::EnvString("NERGLOB_CACHE_DIR", "nerglob_cache",
+                                         /*empty_is_unset=*/false);
+  return dir == "none" ? std::string() : dir;
 }
 
 TrainedSystem BuildTrainedSystem(const BuildOptions& options) {

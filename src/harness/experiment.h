@@ -89,9 +89,10 @@ struct DatasetRun {
 };
 
 /// Generates a dataset from the eval world and runs the full pipeline over
-/// it in batches, scoring every ablation stage.
+/// it in batches, scoring every ablation stage. `batch_size == 0` (the
+/// default) uses NerGlobalizerConfig::process_batch_size.
 DatasetRun RunDataset(const TrainedSystem& system, const std::string& dataset,
-                      double scale, size_t batch_size = 256);
+                      double scale, size_t batch_size = 0);
 
 /// Gold spans of a message list (aligned with predictions).
 std::vector<std::vector<text::EntitySpan>> GoldSpans(

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <filesystem>
 #include <thread>
 
@@ -11,6 +10,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/env.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -24,14 +24,6 @@ namespace fs = std::filesystem;
 constexpr std::string_view kGenPrefix = "gen-";
 constexpr std::string_view kTmpSuffix = ".tmp";
 
-long ParseEnvLong(const char* name, long fallback, long min_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || v < min_value) return fallback;
-  return v;
-}
 
 #ifndef _WIN32
 Status FsyncFd(const std::string& path, int flags) {
@@ -60,9 +52,10 @@ const RetryPolicy& RetryPolicy::FromEnv() {
   static const RetryPolicy policy = [] {
     RetryPolicy p;
     p.max_attempts =
-        static_cast<int>(ParseEnvLong("NERGLOB_IO_RETRIES", 3, 1));
-    p.backoff_seconds =
-        static_cast<double>(ParseEnvLong("NERGLOB_IO_BACKOFF_MS", 5, 0)) / 1e3;
+        static_cast<int>(env::EnvInt("NERGLOB_IO_RETRIES", 3, 1, 1000));
+    p.backoff_seconds = static_cast<double>(env::EnvInt(
+                            "NERGLOB_IO_BACKOFF_MS", 5, 0, 60'000)) /
+                        1e3;
     return p;
   }();
   return policy;

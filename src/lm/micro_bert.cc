@@ -162,9 +162,19 @@ EncodeResult MicroBert::Encode(const std::vector<text::Token>& tokens) const {
 
 std::vector<EncodeResult> MicroBert::EncodeBatch(
     const std::vector<std::vector<text::Token>>& sentences) const {
+  std::vector<const std::vector<text::Token>*> ptrs;
+  ptrs.reserve(sentences.size());
+  for (const auto& s : sentences) ptrs.push_back(&s);
+  return EncodeMany(ptrs);
+}
+
+std::vector<EncodeResult> MicroBert::EncodeMany(
+    const std::vector<const std::vector<text::Token>*>& sentences) const {
   std::vector<EncodeResult> out(sentences.size());
   ParallelFor(0, sentences.size(), /*grain=*/1, [&](size_t i) {
-    if (!sentences[i].empty()) out[i] = Encode(sentences[i]);
+    if (sentences[i] != nullptr && !sentences[i]->empty()) {
+      out[i] = Encode(*sentences[i]);
+    }
   });
   return out;
 }

@@ -69,6 +69,18 @@ class MicroBert : public nn::Module {
   std::vector<EncodeResult> EncodeBatch(
       const std::vector<std::vector<text::Token>>& sentences) const;
 
+  /// Batched entry point for callers that gather sentences from many
+  /// owners (the serve-layer cross-session scheduler): encodes each
+  /// pointed-to sentence via the same scratch-arena Encode path, one per
+  /// ParallelFor lane. Because every sentence runs the full per-sentence op
+  /// sequence independently (no cross-sentence packing or padding state),
+  /// results are bitwise independent of batch composition: any
+  /// partition/permutation of a workload yields the same per-sentence
+  /// bytes as calling Encode on it alone. Null/empty entries are left as
+  /// default EncodeResult. Results keep input order.
+  std::vector<EncodeResult> EncodeMany(
+      const std::vector<const std::vector<text::Token>*>& sentences) const;
+
   std::vector<ag::Var> Parameters() const override;
 
   const MicroBertConfig& config() const { return config_; }

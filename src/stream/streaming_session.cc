@@ -30,6 +30,23 @@ bool StreamingSession::ProcessBatch(const std::vector<Message>& batch) {
   messages_ += batch.size();
   ++batches_;
   pipeline_.ProcessBatch(batch);
+  CollectBatchResults(batch.size());
+  return true;
+}
+
+bool StreamingSession::ProcessBatchPreEncoded(
+    const std::vector<Message>& batch,
+    std::vector<lm::EncodeResult> encoded) {
+  if (batch.empty()) return false;
+  flushed_ = false;
+  messages_ += batch.size();
+  ++batches_;
+  pipeline_.ProcessBatchPreEncoded(batch, std::move(encoded));
+  CollectBatchResults(batch.size());
+  return true;
+}
+
+void StreamingSession::CollectBatchResults(size_t batch_messages) {
   // Drain eviction checkpoints in stream order.
   for (core::FinalizedMessage& f : pipeline_.TakeFinalized()) {
     finalized_.push_back(std::move(f));
@@ -41,9 +58,8 @@ bool StreamingSession::ProcessBatch(const std::vector<Message>& batch) {
     static metrics::Counter* const messages =
         registry.GetCounter("stream.messages_total");
     batches->Increment();
-    messages->Increment(batch.size());
+    messages->Increment(batch_messages);
   }
-  return true;
 }
 
 StreamingRunStats StreamingSession::Run(StreamSource* source) {

@@ -8,9 +8,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -152,10 +153,10 @@ const KernelTable kGenericTable = {
 
 /// Resolves the startup tier: explicit NERGLOB_SIMD wins, then cpuid.
 const KernelTable* ResolveFromEnvironment() {
-  const char* env = std::getenv("NERGLOB_SIMD");
-  if (env != nullptr && env[0] != '\0') {
-    if (std::strcmp(env, "generic") == 0) return &GenericKernels();
-    if (std::strcmp(env, "avx2") == 0) {
+  const std::string env = env::EnvString("NERGLOB_SIMD", "");
+  if (!env.empty()) {
+    if (env == "generic") return &GenericKernels();
+    if (env == "avx2") {
       if (BuiltWithAvx2() && CpuSupportsAvx2()) return &Avx2Kernels();
       NERGLOB_LOG(kWarning) << "NERGLOB_SIMD=avx2 requested but AVX2 is "
                            << (BuiltWithAvx2() ? "not supported by this CPU"

@@ -123,6 +123,93 @@ TEST(MicroBertTest, ParameterCountConsistent) {
             MicroBert(TinyConfig(), 6).Parameters().size());
 }
 
+std::vector<std::vector<text::Token>> ManyCorpus() {
+  std::vector<std::vector<text::Token>> corpus;
+  for (const char* s :
+       {"italy reports new cases", "washington announced a lockdown",
+        "x", "protests erupt in washington today", "stay home and stay safe",
+        "the quick brown fox jumps over the lazy dog twice and keeps "
+        "running far beyond the window",
+        "#covid is trending", "hospitals are full this week"}) {
+    corpus.push_back(Toks(s));
+  }
+  return corpus;
+}
+
+void ExpectSameResult(const EncodeResult& a, const EncodeResult& b,
+                      size_t index) {
+  EXPECT_EQ(a.embeddings, b.embeddings) << "sentence " << index;
+  EXPECT_EQ(a.logits, b.logits) << "sentence " << index;
+  EXPECT_EQ(a.bio_labels, b.bio_labels) << "sentence " << index;
+}
+
+TEST(EncodeManyTest, MatchesPerSentenceEncodeBitwise) {
+  // The batch-composition-independence contract: EncodeMany must equal a
+  // per-sentence Encode loop bit for bit — this is what lets the serve
+  // scheduler batch encodes across sessions without perturbing any stream.
+  MicroBert model(TinyConfig(), 40);
+  const auto corpus = ManyCorpus();
+  std::vector<const std::vector<text::Token>*> sentences;
+  for (const auto& s : corpus) sentences.push_back(&s);
+  const auto batched = model.EncodeMany(sentences);
+  ASSERT_EQ(batched.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ExpectSameResult(batched[i], model.Encode(corpus[i]), i);
+  }
+}
+
+TEST(EncodeManyTest, PartitionInvariant) {
+  // Any way of splitting the sentence list into EncodeMany calls yields
+  // the same bits per sentence: all-at-once vs every split point vs
+  // one-call-per-sentence.
+  MicroBert model(TinyConfig(), 41);
+  const auto corpus = ManyCorpus();
+  std::vector<const std::vector<text::Token>*> sentences;
+  for (const auto& s : corpus) sentences.push_back(&s);
+  const auto whole = model.EncodeMany(sentences);
+  for (size_t split = 0; split <= corpus.size(); ++split) {
+    const auto head = model.EncodeMany(
+        {sentences.begin(), sentences.begin() + split});
+    const auto tail = model.EncodeMany(
+        {sentences.begin() + split, sentences.end()});
+    for (size_t i = 0; i < split; ++i) {
+      ExpectSameResult(head[i], whole[i], i);
+    }
+    for (size_t i = split; i < corpus.size(); ++i) {
+      ExpectSameResult(tail[i - split], whole[i], i);
+    }
+  }
+}
+
+TEST(EncodeManyTest, PermutationInvariant) {
+  // Reordering the batch only reorders the results; each sentence's bits
+  // are unchanged by its neighbors.
+  MicroBert model(TinyConfig(), 42);
+  const auto corpus = ManyCorpus();
+  std::vector<const std::vector<text::Token>*> sentences;
+  for (const auto& s : corpus) sentences.push_back(&s);
+  const auto forward = model.EncodeMany(sentences);
+  std::vector<const std::vector<text::Token>*> reversed(sentences.rbegin(),
+                                                        sentences.rend());
+  const auto backward = model.EncodeMany(reversed);
+  ASSERT_EQ(backward.size(), forward.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    ExpectSameResult(backward[forward.size() - 1 - i], forward[i], i);
+  }
+}
+
+TEST(EncodeManyTest, NullAndEmptySentencesYieldDefaultResults) {
+  MicroBert model(TinyConfig(), 43);
+  const std::vector<text::Token> empty;
+  const auto tokens = Toks("italy reports new cases");
+  const auto results = model.EncodeMany({nullptr, &empty, &tokens});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].bio_labels.size(), 0u);
+  EXPECT_EQ(results[0].embeddings.rows(), 0u);
+  EXPECT_EQ(results[1].bio_labels.size(), 0u);
+  ExpectSameResult(results[2], model.Encode(tokens), 2);
+}
+
 TEST(FineTuneTest, LearnsTinyCorpus) {
   // A toy task: "alpha" is always PER, "betaville" always LOC. After
   // fine-tuning, the model must tag both correctly in held-out contexts.

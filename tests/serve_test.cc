@@ -156,6 +156,89 @@ TEST_F(ServeTest, ConcurrentSessionsMatchSequentialReplay) {
   EXPECT_EQ(stats.open_sessions, kSessions);
 }
 
+TEST_F(ServeTest, BatchedEncodingMatchesUnbatchedByteForByte) {
+  // batch_encode on: the cross-session scheduler runs every session's
+  // LocalEncode stage inside shared EncodeMany rounds whose composition
+  // depends on thread timing — yet each session's finalized stream must
+  // stay byte-identical to its own solo, unbatched replay.
+  auto messages = Dataset("D2");
+  const size_t window = messages.size() / 4;
+  const size_t batch_size = 8;
+  constexpr size_t kSessions = 5;
+
+  std::vector<std::vector<std::vector<stream::Message>>> per_session;
+  for (size_t s = 0; s < kSessions; ++s) {
+    per_session.push_back(Batches(Rotate(messages, s * 13 + 3), batch_size));
+  }
+
+  serve::SessionManagerConfig config = ManagerConfig(4, window);
+  config.batch_encode = true;
+  serve::SessionManager manager(&system_->bundle, config);
+  ASSERT_TRUE(manager.batch_encode());
+  std::vector<std::string> ids;
+  for (size_t s = 0; s < kSessions; ++s) {
+    ids.push_back("batched-" + std::to_string(s));
+    ASSERT_TRUE(manager.Open(ids.back()).ok());
+  }
+
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t s = t; s < kSessions; s += 2) {
+        SubmitAll(&manager, ids[s], per_session[s]);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  manager.FlushAll();
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto got = manager.TakeFinalized(ids[s]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = SequentialReplay(per_session[s], window);
+    ASSERT_EQ(got->size(), want.size()) << ids[s];
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_TRUE((*got)[i] == want[i]) << ids[s] << " message " << i;
+    }
+  }
+
+  const serve::SessionManagerStats stats = manager.stats();
+  uint64_t total_batches = 0;
+  for (const auto& batches : per_session) total_batches += batches.size();
+  EXPECT_EQ(stats.processed_batches, total_batches);
+  EXPECT_EQ(stats.processed_messages, kSessions * messages.size());
+}
+
+TEST_F(ServeTest, BatchedBackpressureCountsWholeBacklog) {
+  // In batched mode a shard's backlog spans three places (queue, being
+  // encoded, ready); admission control and QueueDepth must see all of it,
+  // and the Pause/Resume/Drain lifecycle must behave as in unbatched mode.
+  auto batches = Batches(Dataset("D1"), 4);
+  ASSERT_GE(batches.size(), 3u);
+
+  serve::SessionManagerConfig config =
+      ManagerConfig(1, 0, /*queue_capacity=*/2);
+  config.batch_encode = true;
+  serve::SessionManager manager(&system_->bundle, config);
+  ASSERT_TRUE(manager.Open("s").ok());
+  manager.Pause();
+
+  EXPECT_TRUE(manager.Submit("s", batches[0]).ok());
+  EXPECT_TRUE(manager.Submit("s", batches[1]).ok());
+  EXPECT_EQ(manager.QueueDepth(0), 2u);
+  EXPECT_EQ(manager.Submit("s", batches[2]).code(), StatusCode::kUnavailable);
+
+  manager.Resume();
+  manager.Drain();
+  EXPECT_EQ(manager.QueueDepth(0), 0u);
+  EXPECT_TRUE(manager.Submit("s", batches[2]).ok());
+  manager.FlushAll();
+
+  const serve::SessionManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.submitted_batches, 3u);
+  EXPECT_EQ(stats.processed_batches, 3u);
+}
+
 TEST_F(ServeTest, BackpressureRejectsWithUnavailableThenRecovers) {
   // Pause() keeps the worker from draining, so the queue fills
   // deterministically: once the high watermark trips, Submit returns the
