@@ -123,10 +123,13 @@ void ExtractMentionsInto(const ModelView& view, StreamState& state,
     mentions->Increment(mention_count);
     scans->Increment(ids.size());
     if (use_cache) {
+      // Same events as the per-session StreamState::embed_cache_hits/
+      // misses fields (which checkpoint with the session); these global
+      // counters make them visible to the Prometheus/JSON exporters.
       static metrics::Counter* const cache_hits =
-          registry.GetCounter("stream.cache_hits");
+          registry.GetCounter("stream.embed_cache.hits");
       static metrics::Counter* const cache_misses =
-          registry.GetCounter("stream.cache_misses");
+          registry.GetCounter("stream.embed_cache.misses");
       cache_hits->Increment(hits);
       cache_misses->Increment(misses);
     }
@@ -296,6 +299,10 @@ void LocalEncode(const ModelView& view, StreamState& state, StageContext& ctx) {
   for (const stream::Message& message : *ctx.batch) {
     sentences.push_back(&message.tokens);
   }
+  // EncodeMany defaults dedup duplicate sentences within the batch and
+  // consult the process-wide lm::EncodeCache when enabled — both return
+  // the exact bytes a per-message recompute would, so the stage keeps the
+  // pipeline's bit-identity contract.
   ctx.encoded = view.model->EncodeMany(sentences);
 }
 

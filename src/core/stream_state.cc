@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "io/tensor_io.h"
+#include "lm/encode_cache.h"
 
 namespace nerglob::core {
 
@@ -19,6 +20,10 @@ PipelineMemoryUsage StreamState::MemoryUsage() const {
   }
   usage.total_bytes = usage.tweet_base_bytes + usage.candidate_base_bytes +
                       usage.trie_bytes + usage.embed_cache_bytes;
+  // Shared across sessions, so reported beside (not inside) total_bytes.
+  if (const lm::EncodeCache* cache = lm::EncodeCache::Global()) {
+    usage.global_encode_cache_bytes = cache->MemoryUsageBytes();
+  }
   return usage;
 }
 

@@ -41,6 +41,11 @@ struct PipelineMemoryUsage {
   size_t candidate_base_bytes = 0;
   size_t trie_bytes = 0;
   size_t embed_cache_bytes = 0;
+  /// Footprint of the process-wide lm::EncodeCache (0 when disabled).
+  /// Reported for the operator's whole-process picture but NOT summed
+  /// into total_bytes: the cache is shared, so adding it to every
+  /// session's total would count it once per live session.
+  size_t global_encode_cache_bytes = 0;
   size_t total_bytes = 0;
 };
 

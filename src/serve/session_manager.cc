@@ -350,7 +350,11 @@ void SessionManager::SchedulerLoop() {
       // Encode: one EncodeMany forward over every gathered message. Each
       // sentence's result is bitwise independent of the batch composition
       // (lm::MicroBert contract), which is what keeps batched serving
-      // byte-identical to unbatched per session.
+      // byte-identical to unbatched per session. EncodeMany dedups
+      // identical sentences within the gathered round (cross-session
+      // retweets encode once) and consults the process-wide
+      // lm::EncodeCache when NERGLOB_ENCODE_CACHE_MB enables one — both
+      // return the exact bytes a solo recompute would.
       std::vector<const std::vector<text::Token>*> sentences;
       for (const Gathered& g : gathered) {
         for (const stream::Message& message : g.item.batch) {

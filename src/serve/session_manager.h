@@ -107,6 +107,11 @@ struct SessionManagerStats {
 /// results are bitwise independent of batch composition and
 /// queue -> ready -> worker is FIFO per shard, so every determinism
 /// guarantee above carries over unchanged (docs/ARCHITECTURE.md §9).
+/// Batching is where duplication across sessions concentrates: EncodeMany
+/// encodes each distinct sentence in the gathered round once (intra-batch
+/// dedup) and, with NERGLOB_ENCODE_CACHE_MB > 0, serves repeats across
+/// rounds from the process-wide lm::EncodeCache — both bit-identical to
+/// recomputing (docs/ARCHITECTURE.md §9.3).
 ///
 /// Backpressure: Submit never blocks. A shard at its high watermark (or
 /// hard capacity) rejects with Status::Unavailable and stays rejecting

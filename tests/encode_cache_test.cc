@@ -1,0 +1,274 @@
+// lm::EncodeCache: the process-wide content-addressed cache of exact
+// EncodeResult bytes. The load-bearing properties are (1) a hit is
+// bitwise indistinguishable from a recompute — including end-to-end
+// through the streaming pipeline — (2) eviction honors the byte budget
+// with LRU order, (3) concurrent hit/miss/evict traffic is race-free
+// (this suite is in the CI TSan filter), and (4) an injected
+// `cache.insert` fault degrades to a miss, never a corrupt entry.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "harness/experiment.h"
+#include "lm/encode_cache.h"
+#include "lm/micro_bert.h"
+#include "stream/streaming_session.h"
+#include "text/tokenizer.h"
+
+namespace nerglob::lm {
+namespace {
+
+EncodeKey MakeKey(uint64_t model_id, std::vector<uint32_t> seq) {
+  EncodeKey key;
+  key.model_id = model_id;
+  key.seq = std::move(seq);
+  return key;
+}
+
+/// A distinguishable little EncodeResult: every payload byte derives from
+/// `tag`, so a returned copy proves which entry it came from.
+EncodeResult MakeResult(float tag, size_t rows = 3, size_t cols = 4) {
+  EncodeResult r;
+  r.embeddings = Matrix(rows, cols, tag);
+  r.logits = Matrix(rows, cols, tag + 0.5f);
+  r.bio_labels.assign(rows, static_cast<int>(tag));
+  return r;
+}
+
+void ExpectSameResult(const EncodeResult& a, const EncodeResult& b) {
+  EXPECT_EQ(a.embeddings, b.embeddings);
+  EXPECT_EQ(a.logits, b.logits);
+  EXPECT_EQ(a.bio_labels, b.bio_labels);
+}
+
+TEST(EncodeCacheTest, HitReturnsExactInsertedBytes) {
+  EncodeCache cache(/*budget_bytes=*/1 << 20, /*shards=*/4);
+  const EncodeKey key = MakeKey(1, {4, 1, 2, 7, 9});
+  const EncodeResult value = MakeResult(3.0f);
+  EncodeResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, value);
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  ExpectSameResult(out, value);
+  const EncodeCache::Stats stats = cache.StatsSnapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, EncodeCache::EntryBytes(key, value));
+  EXPECT_EQ(cache.MemoryUsageBytes(), stats.bytes);
+}
+
+TEST(EncodeCacheTest, FullKeyComparisonDistinguishesHashAliases) {
+  // Different model ids and different sequences must never alias, whatever
+  // their hashes do — Lookup compares the complete key.
+  EncodeCache cache(1 << 20, 1);
+  cache.Insert(MakeKey(1, {2, 5}), MakeResult(1.0f));
+  cache.Insert(MakeKey(2, {2, 5}), MakeResult(2.0f));
+  cache.Insert(MakeKey(1, {2, 5, 0}), MakeResult(3.0f));
+  EncodeResult out;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, {2, 5}), &out));
+  ExpectSameResult(out, MakeResult(1.0f));
+  ASSERT_TRUE(cache.Lookup(MakeKey(2, {2, 5}), &out));
+  ExpectSameResult(out, MakeResult(2.0f));
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, {2, 5, 0}), &out));
+  ExpectSameResult(out, MakeResult(3.0f));
+}
+
+TEST(EncodeCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Size the budget (single shard) for exactly two of the three entries;
+  // touching A after inserting B makes B the LRU victim when C arrives.
+  const EncodeKey a = MakeKey(1, {10}), b = MakeKey(1, {11}),
+                  c = MakeKey(1, {12});
+  const EncodeResult value = MakeResult(1.0f);
+  const size_t entry = EncodeCache::EntryBytes(a, value);
+  EncodeCache cache(2 * entry, /*shards=*/1);
+  cache.Insert(a, MakeResult(1.0f));
+  cache.Insert(b, MakeResult(2.0f));
+  EncodeResult out;
+  ASSERT_TRUE(cache.Lookup(a, &out));  // promote A: B is now oldest
+  cache.Insert(c, MakeResult(3.0f));
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  const EncodeCache::Stats stats = cache.StatsSnapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 2 * entry);
+}
+
+TEST(EncodeCacheTest, OversizedEntryIsDroppedNotCached) {
+  const EncodeKey key = MakeKey(1, {1});
+  const EncodeResult big = MakeResult(1.0f, /*rows=*/64, /*cols=*/64);
+  EncodeCache cache(/*budget_bytes=*/256, /*shards=*/1);
+  cache.Insert(key, big);
+  EncodeResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.StatsSnapshot().inserts_dropped, 1u);
+  EXPECT_EQ(cache.MemoryUsageBytes(), 0u);
+}
+
+TEST(EncodeCacheTest, DuplicateInsertKeepsResidentEntry) {
+  EncodeCache cache(1 << 20, 2);
+  const EncodeKey key = MakeKey(1, {3, 3});
+  cache.Insert(key, MakeResult(1.0f));
+  cache.Insert(key, MakeResult(1.0f));  // racing duplicate: no double count
+  EXPECT_EQ(cache.StatsSnapshot().entries, 1u);
+  EXPECT_EQ(cache.MemoryUsageBytes(),
+            EncodeCache::EntryBytes(key, MakeResult(1.0f)));
+}
+
+TEST(EncodeCacheTest, InjectedInsertFaultDegradesToMiss) {
+  // Chaos contract (docs/RELIABILITY.md): a failed insert loses only the
+  // memoization — the caller still holds its computed result, and the
+  // cache stays structurally sound for later traffic.
+  auto& injector = fault::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("cache.insert:1").ok());
+  EncodeCache cache(1 << 20, 2);
+  const EncodeKey key = MakeKey(1, {8});
+  cache.Insert(key, MakeResult(4.0f));  // fault fires: dropped
+  EncodeResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.StatsSnapshot().inserts_dropped, 1u);
+  cache.Insert(key, MakeResult(4.0f));  // next insert succeeds
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  ExpectSameResult(out, MakeResult(4.0f));
+  injector.Disarm();
+}
+
+TEST(EncodeCacheTest, ExportsGlobalMetrics) {
+  metrics::SetEnabled(true);
+  auto& registry = metrics::MetricsRegistry::Global();
+  metrics::Counter* const hits = registry.GetCounter("lm.encode_cache.hits");
+  metrics::Counter* const misses =
+      registry.GetCounter("lm.encode_cache.misses");
+  const uint64_t hits0 = hits->value(), misses0 = misses->value();
+  EncodeCache cache(1 << 20, 2);
+  const EncodeKey key = MakeKey(1, {5});
+  EncodeResult out;
+  cache.Lookup(key, &out);
+  cache.Insert(key, MakeResult(2.0f));
+  cache.Lookup(key, &out);
+  EXPECT_EQ(hits->value(), hits0 + 1);
+  EXPECT_EQ(misses->value(), misses0 + 1);
+  EXPECT_EQ(registry.GetGauge("lm.encode_cache.entries")->value(), 1.0);
+  EXPECT_GT(registry.GetGauge("lm.encode_cache.bytes")->value(), 0.0);
+  metrics::SetEnabled(false);
+}
+
+TEST(EncodeCacheStressTest, ConcurrentHitMissEvictTraffic) {
+  // 8 threads hammer a deliberately tiny (always-evicting) cache with
+  // overlapping key ranges: every lookup that hits must return the exact
+  // bytes inserted for that key. Runs under TSan in CI (the EncodeCache
+  // filter), which is the race check; the EXPECTs are the aliasing check.
+  EncodeCache cache(/*budget_bytes=*/16 * 1024, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+  constexpr uint32_t kKeySpace = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const uint32_t k = static_cast<uint32_t>((i * 7 + t * 13) % kKeySpace);
+        const EncodeKey key = MakeKey(1, {k, k + 1});
+        const float tag = static_cast<float>(k);
+        EncodeResult out;
+        if (cache.Lookup(key, &out)) {
+          ASSERT_EQ(out.embeddings, Matrix(3, 4, tag));
+          ASSERT_EQ(out.logits, Matrix(3, 4, tag + 0.5f));
+        } else {
+          cache.Insert(key, MakeResult(tag));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const EncodeCache::Stats stats = cache.StatsSnapshot();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(cache.MemoryUsageBytes(), 16u * 1024u);
+}
+
+TEST(EncodeCacheTest, ModelVersionChangesRetireStaleEntries) {
+  // Fine-tuning mutates parameter bytes in place; the refreshed model
+  // version must give post-training encodes a fresh cache identity so a
+  // pre-training entry can never be served.
+  text::Tokenizer tokenizer;
+  MicroBertConfig cfg;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.max_seq_len = 16;
+  cfg.subword_buckets = 512;
+  cfg.dropout = 0.0f;
+  MicroBert model(cfg, 99);
+  const uint64_t before = model.model_version();
+
+  EncodeCache cache(1 << 20, 2);
+  EncodeCache::SetGlobalForTesting(&cache);
+  const auto tokens = tokenizer.Tokenize("alpha visits betaville");
+  const EncodeResult pre = model.Encode(tokens);   // miss + insert
+  const EncodeResult pre2 = model.Encode(tokens);  // hit
+  ExpectSameResult(pre, pre2);
+
+  LabeledSentence ex;
+  ex.tokens = tokens;
+  ex.bio.assign(tokens.size(), text::kBioOutside);
+  FineTuneOptions options;
+  options.epochs = 1;
+  FineTuneForNer(&model, {ex}, options);
+  EXPECT_NE(model.model_version(), before);
+
+  const EncodeResult post = model.Encode(tokens);
+  EncodeCache::SetGlobalForTesting(nullptr);
+  // The post-training encode must match an uncached recompute, not the
+  // stale pre-training bytes.
+  const EncodeResult recompute = model.Encode(tokens);
+  ExpectSameResult(post, recompute);
+  EXPECT_EQ(cache.StatsSnapshot().entries, 2u) << "stale entry not reused";
+}
+
+TEST(EncodeCachePipelineTest, CacheOnMatchesCacheOffByteForByte) {
+  // End-to-end bit-identity: the full streaming pipeline (local NER,
+  // TweetBase, trie scans, clustering — everything downstream of the
+  // encoder) produces identical finalized output with the cache on,
+  // including with a starvation-sized budget that forces mid-stream
+  // evictions.
+  const harness::TrainedSystem system =
+      harness::BuildTrainedSystem(harness::TinyTestOptions());
+  data::StreamGenerator gen(&system.kb_eval);
+  const auto messages = gen.Generate(data::MakeDatasetSpec("D1", 0.08));
+
+  const auto run = [&system, &messages] {
+    stream::StreamingSessionConfig config;
+    config.pipeline = core::DefaultPipelineConfig(system.bundle);
+    stream::StreamingSession session(&system.bundle, config);
+    stream::StreamSource source(messages, /*batch_size=*/8);
+    std::vector<stream::Message> batch;
+    while (!(batch = source.NextBatch()).empty()) session.ProcessBatch(batch);
+    session.Flush();
+    return session.TakeFinalized();
+  };
+
+  const auto baseline = run();  // cache off (no global configured in tests)
+  {
+    EncodeCache roomy(8 * 1024 * 1024, 4);
+    EncodeCache::SetGlobalForTesting(&roomy);
+    const auto cached = run();
+    EncodeCache::SetGlobalForTesting(nullptr);
+    EXPECT_EQ(cached, baseline);
+    EXPECT_GT(roomy.StatsSnapshot().hits + roomy.StatsSnapshot().misses, 0u);
+  }
+  {
+    EncodeCache tiny(64 * 1024, 2);  // evicts constantly
+    EncodeCache::SetGlobalForTesting(&tiny);
+    const auto cached = run();
+    EncodeCache::SetGlobalForTesting(nullptr);
+    EXPECT_EQ(cached, baseline);
+  }
+}
+
+}  // namespace
+}  // namespace nerglob::lm
